@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper's evaluation,
+prints the series it produced, and also writes them to
+``benchmarks/results/<experiment>.txt`` so the numbers survive pytest's
+output capturing and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_report(experiment_id: str, text: str) -> None:
+    """Print the report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,101 @@
+"""ABL3 -- block-Arnoldi congruence (ref. [16]) vs SyMPVL.
+
+The paper cites the coordinate-transformed Arnoldi approach of Silveira
+et al. as the main non-Pade alternative.  This ablation compares the
+two on both circuit classes:
+
+* on *symmetric positive-definite* pencils (RC), one-sided congruence
+  coincides with the two-sided projection, so PRIMA-style Arnoldi
+  attains the same matrix-Pade accuracy -- an equivalence worth
+  documenting;
+* on the *indefinite* package (general RLC) both remain usable; the
+  congruence model is passive-by-construction while SyMPVL offers the
+  banded symmetric reduced matrices and the same Krylov accuracy.
+
+The cost asymmetry is also measured: Arnoldi keeps a dense orthonormal
+basis (O(N n^2) orthogonalization work), while the symmetric Lanczos
+recurrence is short.
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.analysis import Table
+
+from _util import save_report
+
+
+def run_ablation():
+    rows = []
+
+    # RC case
+    rc_net = repro.coupled_rc_bus(8, 30, driver_resistance=100.0)
+    rc = repro.assemble_mna(rc_net)
+    s = 1j * np.logspace(8, 10.5, 40)
+    exact = repro.ac_sweep(rc, s).z
+    for order in (16, 32, 48):
+        t0 = time.perf_counter()
+        m_l = repro.sympvl(rc, order=order, shift=0.0)
+        t_l = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        m_a = repro.prima(rc, order, sigma0=0.0)
+        t_a = time.perf_counter() - t0
+        rows.append((
+            "RC bus", order,
+            repro.max_relative_error(m_l.impedance(s), exact),
+            repro.max_relative_error(m_a.impedance(s), exact),
+            t_l, t_a, m_a.is_stable(1e-6),
+        ))
+
+    # indefinite RLC case (small package)
+    pkg_net = repro.package_model(n_pins=16, n_signal=4, n_sections=6)
+    pkg = repro.assemble_mna(pkg_net)
+    s2 = 1j * 2 * np.pi * np.logspace(8, np.log10(4e9), 40)
+    exact2 = repro.ac_sweep(pkg, s2).z
+    sigma0 = 2 * np.pi * 1.5e9
+    for order in (24, 40, 56):
+        t0 = time.perf_counter()
+        m_l = repro.sympvl(pkg, order=order, shift=sigma0)
+        t_l = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        m_a = repro.prima(pkg, order, sigma0=sigma0)
+        t_a = time.perf_counter() - t0
+        rows.append((
+            "RLC package", order,
+            repro.max_relative_error(m_l.impedance(s2), exact2),
+            repro.max_relative_error(m_a.impedance(s2), exact2),
+            t_l, t_a, m_a.is_stable(1e-6),
+        ))
+    return rows
+
+
+def test_ablation_arnoldi_vs_sympvl(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        "ABL3: SyMPVL vs block-Arnoldi congruence (PRIMA-style, ref. [16])",
+        ["circuit", "order", "SyMPVL err", "Arnoldi err",
+         "SyMPVL s", "Arnoldi s", "Arnoldi stable"],
+    )
+    for row in rows:
+        table.row(*row)
+    lines = [table.render()]
+    lines.append(
+        "shape: on symmetric PSD pencils the two projections agree "
+        "(identical subspace + Galerkin); congruence models of PSD "
+        "pencils are stable/passive by construction; both converge on "
+        "the indefinite package"
+    )
+    save_report("ABL3", "\n".join(lines))
+
+    rc_rows = [r for r in rows if r[0] == "RC bus"]
+    # equivalence on SPD pencils: same accuracy within a small factor
+    for row in rc_rows:
+        assert row[3] < 10 * row[2] + 1e-9
+        assert row[6]  # congruence model stable for PSD pencil
+    # both methods converge with order on the package
+    pkg_rows = [r for r in rows if r[0] == "RLC package"]
+    assert pkg_rows[-1][2] < pkg_rows[0][2]
+    assert pkg_rows[-1][3] < pkg_rows[0][3]

@@ -1,0 +1,73 @@
+"""ABL7 -- substrate ablation: fill-reducing ordering in the Cholesky.
+
+The SyMPVL pipeline's dominant cost on large RC circuits is the sparse
+Cholesky of ``G + sigma0 C``.  This ablation measures what the
+from-scratch RCM pre-ordering buys on the paper-scale interconnect
+matrix: factor fill (nnz of L), profile, and factorization time, versus
+natural ordering.
+"""
+
+import time
+
+import numpy as np
+import scipy.sparse as sp
+
+import repro
+from repro.analysis import Table
+from repro.linalg.cholesky import sparse_cholesky
+from repro.linalg.ordering import profile, rcm_ordering
+
+from _util import save_report
+
+
+def run_ablation():
+    rows = []
+    for label, net in (
+        ("rc bus 17x79", repro.coupled_rc_bus(driver_resistance=100.0)),
+        ("rc mesh 24x24", repro.rc_mesh(24, 24)),
+    ):
+        system = repro.assemble_mna(net)
+        matrix = sp.csc_matrix(system.shifted_g(2e9))
+        perm = rcm_ordering(matrix)
+        prof_nat = profile(matrix)
+        prof_rcm = profile(matrix, perm)
+        timings = {}
+        fills = {}
+        for order in ("natural", "rcm"):
+            started = time.perf_counter()
+            chol = sparse_cholesky(matrix, order=order)
+            timings[order] = time.perf_counter() - started
+            fills[order] = chol.lower.nnz
+        rows.append((
+            label, matrix.shape[0], matrix.nnz,
+            prof_nat, prof_rcm,
+            fills["natural"], fills["rcm"],
+            timings["natural"], timings["rcm"],
+        ))
+    return rows
+
+
+def test_ablation_ordering(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        "ABL7: RCM pre-ordering in the from-scratch sparse Cholesky",
+        ["matrix", "N", "nnz(A)", "profile nat", "profile rcm",
+         "nnz(L) nat", "nnz(L) rcm", "time nat s", "time rcm s"],
+    )
+    for row in rows:
+        table.row(*row)
+    lines = [table.render()]
+    lines.append(
+        "shape: RCM reduces envelope/fill on circuit topologies, which "
+        "bounds the factorization work of the SyMPVL setup phase"
+    )
+    save_report("ABL7", "\n".join(lines))
+
+    for row in rows:
+        _, n, nnz_a, prof_nat, prof_rcm, fill_nat, fill_rcm, t_nat, t_rcm = row
+        assert prof_rcm <= prof_nat
+        assert fill_rcm <= 1.2 * fill_nat  # never meaningfully worse
+    # on the long-thin bus the ordering matters a lot
+    bus = rows[0]
+    assert bus[6] < 0.7 * bus[5] or bus[4] < 0.7 * bus[3]

@@ -1,0 +1,81 @@
+"""ABL4 -- the section-5 theorems, exercised in bulk.
+
+Stability and passivity of the reduced-order models are *proved* for
+the RC, RL, and LC classes; this ablation verifies them empirically
+across a sweep of random circuits of every guaranteed class, at every
+order, including shifted expansions -- and contrasts with the general
+RLC class where the paper makes no guarantee (and where unstable models
+genuinely occur, motivating the post-processing remark of section 8).
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis import Table
+from repro.errors import ReductionError
+
+from _util import save_report
+
+
+def run_ablation():
+    counts = {}
+    omega = np.logspace(7, 11, 10)
+    for kind in ("RC", "RL", "LC", "RLC"):
+        total = 0
+        stable = 0
+        passive = 0
+        certified = 0
+        for seed in range(12):
+            net = repro.random_passive(kind, 14, seed=seed)
+            system = repro.assemble_mna(net)
+            for order in (2, 5, 9, 13):
+                try:
+                    model = repro.sympvl(system, order=order)
+                except ReductionError:
+                    continue
+                total += 1
+                if model.is_stable(1e-6):
+                    stable += 1
+                z_scale = max(
+                    np.abs(model.impedance((0.05 + 1j) * omega)).max(), 1e-300
+                )
+                margin = repro.positive_real_margin(
+                    model, omega, damping=0.05, real_axis_points=3
+                )
+                if margin >= -1e-7 * z_scale:
+                    passive += 1
+                if repro.certify(model, tol=1e-6).certified:
+                    certified += 1
+        counts[kind] = (total, stable, passive, certified)
+    return counts
+
+
+def test_ablation_passivity_theorems(benchmark):
+    counts = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        "ABL4: stability/passivity across classes (random circuits x orders)",
+        ["class", "models", "stable", "passive (sampled)",
+         "certified (algebraic)"],
+    )
+    for kind, (total, stable, passive, certified) in counts.items():
+        table.row(kind, total, stable, passive, certified)
+    lines = [table.render()]
+    lines.append(
+        "paper shape (sec. 5): RC/RL/LC reductions stable & passive at "
+        "EVERY order; general RLC has no guarantee (sec. 8 defers to "
+        "post-processing)"
+    )
+    save_report("ABL4", "\n".join(lines))
+
+    for kind in ("RC", "RL", "LC"):
+        total, stable, passive, certified = counts[kind]
+        assert total > 20
+        assert stable == total, f"{kind}: {stable}/{total} stable"
+        assert passive == total, f"{kind}: {passive}/{total} passive"
+        assert certified == total, f"{kind}: certification failed"
+    # the RLC class must NOT be trivially all-stable (otherwise the
+    # paper's caveat -- and our post-processing -- would be pointless);
+    # with moderate sampling unstable cases are expected but not certain,
+    # so only the guarantee direction is asserted strictly above.
+    assert counts["RLC"][0] > 20

@@ -1,0 +1,94 @@
+"""ABL6 -- full re-orthogonalization vs the paper's short recurrence.
+
+DESIGN.md section 3 documents one deliberate deviation from Algorithm 1:
+the default Lanczos policy re-orthogonalizes against *all* closed
+clusters ("full"), where the paper keeps only a short window ("local"),
+which is what makes its ``T_n`` banded.  This ablation quantifies the
+trade on a real reduction:
+
+* the banded structure of ``T`` in local mode (the paper's selling
+  point for storage/stamping);
+* the accuracy drift of the local recurrence as the order grows
+  (classical Lanczos orthogonality loss);
+* the cost difference (operator applications are identical; the
+  orthogonalization work differs).
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis import Table
+from repro.core import LanczosOptions, sympvl
+
+from _util import save_report
+
+
+def bandwidth(matrix: np.ndarray, rtol: float = 1e-10) -> int:
+    scale = np.abs(matrix).max()
+    band = 0
+    n = matrix.shape[0]
+    for i in range(n):
+        for j in range(n):
+            if abs(matrix[i, j]) > rtol * scale:
+                band = max(band, abs(i - j))
+    return band
+
+
+def run_ablation():
+    net = repro.coupled_rc_bus(6, 40, driver_resistance=100.0)
+    system = repro.assemble_mna(net)
+    s = 1j * np.logspace(8, 10.5, 40)
+    exact = repro.ac_sweep(system, s).z
+    rows = []
+    for order in (12, 24, 48, 96):
+        models = {}
+        for policy in ("full", "local"):
+            models[policy] = sympvl(
+                system, order=order, shift=0.0,
+                options=LanczosOptions(reorthogonalize=policy),
+            )
+        err = {
+            policy: repro.max_relative_error(m.impedance(s), exact)
+            for policy, m in models.items()
+        }
+        t_local = models["local"].metadata["lanczos"].t_recurrence
+        t_full = models["full"].metadata["lanczos"].t
+        rows.append((
+            order,
+            err["full"],
+            err["local"],
+            bandwidth(t_full),
+            bandwidth(t_local),
+            system.num_ports,
+        ))
+    return rows
+
+
+def test_ablation_reorthogonalization(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        "ABL6: full re-orthogonalization vs the paper's banded recurrence",
+        ["order", "err (full)", "err (local)", "T bandwidth (full)",
+         "T bandwidth (local)", "p"],
+    )
+    for row in rows:
+        table.row(*row)
+    lines = [table.render()]
+    lines.append(
+        "shape: the local recurrence keeps T banded at ~p+lookahead "
+        "(the structure eq. 18 promises); full re-orthogonalization "
+        "keeps accuracy at high order where the local recurrence drifts"
+    )
+    save_report("ABL6", "\n".join(lines))
+
+    p = rows[0][5]
+    for order, err_full, err_local, bw_full, bw_local, _ in rows:
+        # local mode's recurrence matrix is banded as the paper says
+        assert bw_local <= p + LanczosOptions().max_cluster
+        # at low-to-moderate order the two policies agree
+        if order <= 2 * p:
+            assert abs(err_full - err_local) < 10 * max(err_full, 1e-12)
+    # full reorthogonalization is at least as accurate at the top order
+    top = rows[-1]
+    assert top[1] <= 10 * top[2]

@@ -1,0 +1,81 @@
+"""FIG2 -- the PEEC circuit transfer function (paper section 7.1, Fig. 2).
+
+Regenerates the figure's content: the exact LC two-port response over
+the resonance-rich band, overlaid with the SyMPVL matrix-Pade
+approximant at order n = 50 (the paper's "good match") and n = 56
+("running the algorithm 6 more iterations results in a perfect match").
+
+Paper-shape claims checked:
+  * G is singular, so the eq.-26 frequency shift is required;
+  * the reduction is stable and passive at every order (LC case);
+  * n = 50 tracks the response; n = 50 + 6 is a near-perfect match.
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis import Table
+from repro.circuits.mna import lc_inductor_current_output, with_output_columns
+
+from _util import save_report
+
+N_CELLS = 200
+BAND = np.linspace(1.5e9, 4.0e10, 160)  # rad/s
+
+
+def build_two_port():
+    net = repro.peec_like_lc(N_CELLS)
+    system = repro.assemble_mna(net)
+    mid = f"L{len(net.inductors) // 2}"
+    column = lc_inductor_current_output(net, mid)
+    return with_output_columns(system, column, [f"i({mid})"])
+
+
+def run_fig2():
+    system = build_two_port()
+    s = 1j * BAND
+    exact = repro.ac_sweep(system, s)
+    rows = []
+    series = {}
+    for order in (20, 50, 56):
+        model = repro.sympvl(system, order=order)
+        reduced = repro.model_sweep(model, s)
+        err = repro.frequency_error(reduced, exact)
+        rows.append(
+            (order, err["max_rel"], err["rms_db"], model.is_stable(1e-6),
+             repro.certify(model).certified)
+        )
+        series[order] = reduced
+    return system, exact, rows, series
+
+
+def test_fig2_peec(benchmark):
+    system, exact, rows, series = benchmark.pedantic(
+        run_fig2, rounds=1, iterations=1
+    )
+
+    table = Table(
+        "FIG2: PEEC LC two-port, exact vs SyMPVL (band 0.24-6.4 GHz)",
+        ["order", "max rel err", "RMS dB err", "stable", "passive cert"],
+    )
+    for row in rows:
+        table.row(*row)
+    lines = [table.render()]
+    lines.append(
+        f"system: N = {system.size} LC nodal unknowns, p = 2 "
+        "(drive node + inductor-current output, eq. 25)"
+    )
+    lines.append(
+        "paper shape: n = 50 'good match', n = 56 'perfect match'; "
+        "LC reduction guaranteed stable & passive"
+    )
+    save_report("FIG2", "\n".join(lines))
+
+    by_order = {row[0]: row for row in rows}
+    # n = 50 is a good match, n = 56 near-perfect, and the improvement
+    # from 20 -> 50 -> 56 is monotone (who-wins shape of Fig. 2)
+    assert by_order[20][1] > by_order[50][1] > by_order[56][1]
+    assert by_order[50][1] < 0.1
+    assert by_order[56][1] < 1e-3
+    # stability/passivity guaranteed at every order (section 5)
+    assert all(row[3] and row[4] for row in rows)

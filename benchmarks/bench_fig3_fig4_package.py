@@ -1,0 +1,114 @@
+"""FIG3 + FIG4 -- the 64-pin package model (paper section 7.2).
+
+Regenerates both figures' content from one set of reductions:
+
+* FIG3: voltage transfer, pin 1 external -> pin 1 internal;
+* FIG4: voltage transfer, pin 1 external -> (neighboring) pin 2
+  internal;
+
+each compared across reduced models of order 48, 64, and 80 against the
+exact analysis, exactly the orders the paper plots.
+
+Paper-shape claims checked:
+  * errors shrink (weakly) as the order grows 48 -> 64 -> 80;
+  * the order-80 model is a near-overlay (sub-dB RMS deviation);
+  * the reduction runs through the indefinite (Bunch-Kaufman, J != I)
+    path -- general RLC circuits have no stability guarantee, and the
+    post-processing (stabilize) must repair any unstable model without
+    hurting band accuracy.
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis import Table, rms_db_error
+
+from _util import save_report
+
+BAND = 2 * np.pi * np.logspace(np.log10(5e7), np.log10(5e9), 90)
+SIGMA0 = 2 * np.pi * 1.5e9
+ORDERS = (48, 64, 80)
+
+
+def run_package():
+    net = repro.package_model()
+    system = repro.assemble_mna(net)
+    s = 1j * BAND
+    exact = repro.ac_sweep(system, s)
+    names = net.port_names
+    ext1, int1, int2 = names[0], names[8], names[9]
+    h_fig3_exact = exact.voltage_transfer(int1, ext1)
+    h_fig4_exact = exact.voltage_transfer(int2, ext1)
+
+    rows = []
+    for order in ORDERS:
+        model = repro.sympvl(system, order=order, shift=SIGMA0)
+        stable = model.is_stable(1e-6)
+        repaired = model if stable else repro.stabilize(
+            model, band=(float(BAND[0]), float(BAND[-1]))
+        )
+        reduced = repro.model_sweep(model, s)
+        h3 = reduced.voltage_transfer(int1, ext1)
+        h4 = reduced.voltage_transfer(int2, ext1)
+        repaired_sweep = repro.model_sweep(repaired, s)
+        h3_repaired = repaired_sweep.voltage_transfer(int1, ext1)
+        rows.append({
+            "order": order,
+            "fact": model.factorization_method,
+            "fig3_rel": repro.max_relative_error(h3, h_fig3_exact),
+            "fig3_db": rms_db_error(h3, h_fig3_exact),
+            "fig4_rel": repro.max_relative_error(h4, h_fig4_exact),
+            "fig4_db": rms_db_error(h4, h_fig4_exact),
+            "stable": stable,
+            "repaired_stable": repaired.is_stable(1e-6),
+            "repaired_fig3_rel": repro.max_relative_error(
+                h3_repaired, h_fig3_exact
+            ),
+        })
+    return system, rows
+
+
+def test_fig3_fig4_package(benchmark):
+    system, rows = benchmark.pedantic(run_package, rounds=1, iterations=1)
+
+    table = Table(
+        "FIG3/FIG4: package voltage transfers vs exact (0.05-5 GHz)",
+        ["order", "FIG3 max rel", "FIG3 RMS dB", "FIG4 max rel",
+         "FIG4 RMS dB", "stable", "stabilized ok"],
+    )
+    for row in rows:
+        table.row(row["order"], row["fig3_rel"], row["fig3_db"],
+                  row["fig4_rel"], row["fig4_db"], row["stable"],
+                  row["repaired_stable"])
+    lines = [table.render()]
+    lines.append(
+        f"system: N = {system.size} MNA unknowns, p = 16 ports, "
+        f"factorization: {rows[0]['fact']}"
+    )
+    lines.append(
+        "paper shape: orders 48/64/80 all track the exact curves; the "
+        "order-80 model gives an 'almost perfect match' (we read that "
+        "as sub-dB RMS); 2000 -> 80 state variables"
+    )
+    save_report("FIG3_FIG4", "\n".join(lines))
+
+    by_order = {row["order"]: row for row in rows}
+    # all plotted orders land on the curve (coarse agreement)
+    for row in rows:
+        assert row["fig3_rel"] < 0.25
+        assert row["fig3_db"] < 1.0
+    # order 80 is the near-overlay model for both figures
+    assert by_order[80]["fig3_db"] < 0.25
+    assert by_order[80]["fig4_db"] < 0.75
+    # higher order does not get meaningfully worse (weak monotonicity)
+    assert by_order[80]["fig3_rel"] <= 2.0 * by_order[48]["fig3_rel"]
+    # the indefinite path was exercised
+    assert "bunch-kaufman" in rows[0]["fact"]
+    # post-processing always yields a stable model...
+    assert all(row["repaired_stable"] for row in rows)
+    # ...and the band-aware repair keeps the accuracy loss bounded
+    # (near-band artifacts at n = 48 cost a few x; at n = 80 the repair
+    # is accuracy-neutral)
+    for row in rows:
+        assert row["repaired_fig3_rel"] <= 8.0 * row["fig3_rel"] + 1e-6
+    assert by_order[80]["repaired_fig3_rel"] <= 2.0 * by_order[80]["fig3_rel"]

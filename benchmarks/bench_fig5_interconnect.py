@@ -1,0 +1,115 @@
+"""FIG5 + TXT-A -- synthesized interconnect in the time domain (sec. 7.3).
+
+Regenerates Figure 5's content: transient waveforms of the full
+extracted crosstalk network against the synthesized reduced circuit,
+plus the section's textual claims (TXT-A): the element/node counts of
+the synthesized circuit and the transient CPU-time reduction
+(paper: 1350 -> 34 nodal equations, 36620 C/1355 R -> 170 C/459 R,
+132 s -> 2.15 s).
+
+Paper-shape claims checked:
+  * the reduction keeps the paper's n = 34 (= 2 x 17 ports) size and
+    the synthesized circuit has 34 nodes;
+  * full and synthesized waveforms agree closely (and an order-68
+    model is waveform-indistinguishable);
+  * the synthesized circuit simulates many times faster.
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis import Table
+
+from _util import save_report
+
+T_GRID = np.linspace(0.0, 2.0e-8, 2001)
+
+
+def run_fig5():
+    net = repro.coupled_rc_bus(driver_resistance=100.0)
+    system = repro.assemble_mna(net)
+    drives = {"in0": repro.Step(amplitude=1e-3, rise=2e-10)}
+    full = repro.transient_ports(system, drives, T_GRID, label="full")
+
+    results = []
+    for order in (34, 68):
+        model = repro.sympvl(system, order=order, shift=0.0)
+        report = repro.synthesize_rc(model, prune_tol=1e-6)
+        syn_system = repro.assemble_mna(report.netlist)
+        syn = repro.transient_ports(
+            syn_system, drives, T_GRID, label=f"synthesized n={order}"
+        )
+        err = repro.transient_error(syn, full)
+        values = [e.value for e in report.netlist.resistors]
+        values += [e.value for e in report.netlist.capacitors]
+        results.append({
+            "order": order,
+            "report": report,
+            "max_rel": err["max_rel"],
+            "cpu": syn.stats["cpu_seconds"],
+            "guaranteed": model.guaranteed_stable_passive,
+            "negative_elements": sum(1 for v in values if v < 0),
+            "bounded": bool(np.all(np.isfinite(syn.outputs))
+                            and np.abs(syn.outputs).max()
+                            < 100 * max(np.abs(full.outputs).max(), 1e-300)),
+        })
+    return net, system, full, results
+
+
+def test_fig5_interconnect(benchmark):
+    net, system, full, results = benchmark.pedantic(
+        run_fig5, rounds=1, iterations=1
+    )
+    stats = net.stats()
+
+    table = Table(
+        "FIG5/TXT-A: full vs synthesized interconnect transient",
+        ["circuit", "nodes", "R", "C", "cpu s", "waveform max rel dev"],
+    )
+    table.row("full", stats["nodes"], stats["resistors"],
+              stats["capacitors"], full.stats["cpu_seconds"], 0.0)
+    for res in results:
+        rep = res["report"]
+        table.row(f"synthesized n={res['order']}", rep.num_nodes,
+                  rep.num_resistors, rep.num_capacitors, res["cpu"],
+                  res["max_rel"])
+    n34 = results[0]
+    speedup = full.stats["cpu_seconds"] / max(n34["cpu"], 1e-12)
+    lines = [table.render()]
+    lines.append(
+        f"speedup at n=34: {speedup:.1f}x "
+        "(paper: 132 s -> 2.15 s = 61x on 1998 hardware)"
+    )
+    lines.append(
+        "paper counts: full 1350 nodes / 1355 R / 36620 C, synthesized "
+        "34 nodes / 459 R / 170 C; waveforms indistinguishable"
+    )
+    lines.append(
+        "note: our synthetic bus couples more densely than the paper's "
+        "extracted net, so waveform-indistinguishability needs n = 68; "
+        "at the paper's n = 34 the deviation is a few percent"
+    )
+    lines.append(
+        "TXT-B (sec. 6 claim): synthesized circuits contain "
+        f"{[r['negative_elements'] for r in results]} negative elements "
+        "at n = 34/68 and still simulate stably (model is stable & "
+        "passive, so negative values 'will not affect the stability or "
+        "the accuracy of the simulation')"
+    )
+    save_report("FIG5", "\n".join(lines))
+
+    # scale of the full circuit matches the paper's net
+    assert 1300 <= stats["nodes"] <= 1400
+    assert 30000 <= stats["capacitors"] <= 40000
+    # reduction size and synthesized node count match the paper exactly
+    assert n34["report"].num_nodes == 34
+    # RC reduction carries the section-5 guarantee
+    assert all(res["guaranteed"] for res in results)
+    # waveforms: close at n=34, indistinguishable at n=68
+    assert n34["max_rel"] < 0.10
+    assert results[1]["max_rel"] < 0.01
+    # the synthesized circuit simulates much faster
+    assert speedup > 3.0
+    # TXT-B: negative elements occur, yet the simulation stays bounded
+    assert any(res["negative_elements"] > 0 for res in results)
+    assert all(res["bounded"] for res in results)

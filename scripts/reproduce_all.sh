@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Reproduce everything: tests, property suite, benchmarks, examples.
+#
+# Usage:  bash scripts/reproduce_all.sh
+# Runtime: ~15 minutes on a laptop core (the package and interconnect
+# examples dominate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== unit / integration / property tests =="
+python -m pytest tests/
+
+echo "== benchmark harness (regenerates every paper figure) =="
+python -m pytest benchmarks/ --benchmark-only
+echo "   per-experiment reports: benchmarks/results/*.txt"
+
+echo "== examples =="
+for script in quickstart peec_lc sensitivity_analysis macromodel_in_system \
+              package_model interconnect_crosstalk; do
+    echo "--- examples/${script}.py ---"
+    python "examples/${script}.py"
+done

@@ -1,0 +1,9 @@
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` offline.
+
+All project metadata lives in pyproject.toml; this file exists only so
+editable installs work in environments without the `wheel` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,167 @@
+"""SyMPVL reproduction: matrix-Pade reduced-order modeling of RLC multi-ports.
+
+Reproduces R. W. Freund and P. Feldmann, "Reduced-Order Modeling of
+Large Linear Passive Multi-Terminal Circuits Using Matrix-Pade
+Approximation", DATE 1998.
+
+Quickstart
+----------
+>>> from repro import rc_ladder, assemble_mna, sympvl
+>>> net = rc_ladder(200, port_at_far_end=True)
+>>> system = assemble_mna(net)
+>>> model = sympvl(system, order=16, shift=1e8)
+>>> z = model.impedance(1j * 2e9)   # 2x2 impedance matrix at omega = 2e9
+"""
+
+from repro.analysis import (
+    ExperimentRecord,
+    Table,
+    frequency_error,
+    max_relative_error,
+    rms_db_error,
+    transient_error,
+)
+from repro.circuits import (
+    GROUND,
+    merge_netlists,
+    MNASystem,
+    Netlist,
+    TransferMap,
+    assemble_mna,
+    coupled_rc_bus,
+    package_model,
+    parse_netlist,
+    peec_like_lc,
+    random_passive,
+    rc_ladder,
+    rc_mesh,
+    rc_tree,
+    rlc_line,
+    validate_netlist,
+    write_netlist,
+)
+from repro.core import (
+    AWEModel,
+    Certification,
+    CongruenceModel,
+    LanczosOptions,
+    ReducedOrderModel,
+    StateSpace,
+    awe,
+    certify,
+    enforce_passivity,
+    exact_moments,
+    moment_match_count,
+    mpvl,
+    pact,
+    positive_real_margin,
+    prima,
+    scalar_impedance,
+    stabilize,
+    sympvl,
+    sympvl_adaptive,
+    sypvl,
+)
+from repro.simulation import (
+    DC,
+    FrequencyResponse,
+    PiecewiseLinear,
+    Pulse,
+    Sine,
+    Step,
+    TransientResult,
+    ac_sweep,
+    model_sweep,
+    transient_netlist,
+    transient_ports,
+    transient_reduced,
+)
+from repro.io import load_model, save_model
+from repro.synthesis import (
+    StampedSystem,
+    SynthesisReport,
+    cauer_elements,
+    foster_sections,
+    stamp_reduced_model,
+    synthesize_cauer,
+    synthesize_foster,
+    synthesize_foster_lc,
+    synthesize_rc,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # circuits
+    "GROUND",
+    "Netlist",
+    "MNASystem",
+    "TransferMap",
+    "assemble_mna",
+    "parse_netlist",
+    "write_netlist",
+    "validate_netlist",
+    "rc_ladder",
+    "rc_mesh",
+    "rc_tree",
+    "rlc_line",
+    "coupled_rc_bus",
+    "peec_like_lc",
+    "package_model",
+    "random_passive",
+    # core
+    "sympvl",
+    "sympvl_adaptive",
+    "sypvl",
+    "scalar_impedance",
+    "ReducedOrderModel",
+    "StateSpace",
+    "LanczosOptions",
+    "awe",
+    "AWEModel",
+    "prima",
+    "CongruenceModel",
+    "mpvl",
+    "pact",
+    "certify",
+    "Certification",
+    "stabilize",
+    "enforce_passivity",
+    "positive_real_margin",
+    "exact_moments",
+    "moment_match_count",
+    # simulation
+    "ac_sweep",
+    "model_sweep",
+    "FrequencyResponse",
+    "TransientResult",
+    "transient_ports",
+    "transient_reduced",
+    "transient_netlist",
+    "DC",
+    "Step",
+    "Pulse",
+    "PiecewiseLinear",
+    "Sine",
+    # synthesis
+    "synthesize_rc",
+    "SynthesisReport",
+    "synthesize_foster",
+    "foster_sections",
+    "synthesize_cauer",
+    "synthesize_foster_lc",
+    "cauer_elements",
+    "stamp_reduced_model",
+    "StampedSystem",
+    "merge_netlists",
+    "save_model",
+    "load_model",
+    # analysis
+    "max_relative_error",
+    "rms_db_error",
+    "frequency_error",
+    "transient_error",
+    "Table",
+    "ExperimentRecord",
+    "__version__",
+]

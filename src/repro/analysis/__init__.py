@@ -1,0 +1,37 @@
+"""Comparison metrics and experiment reporting."""
+
+from repro.analysis.compare import (
+    crossover_order,
+    frequency_error,
+    max_relative_error,
+    rms_db_error,
+    transient_error,
+)
+from repro.analysis.network import (
+    is_passive_scattering,
+    max_singular_value,
+    s_to_z,
+    y_to_z,
+    z_to_s,
+    z_to_y,
+)
+from repro.analysis.reporting import ExperimentRecord, Table, ascii_plot
+from repro.analysis.sensitivity import impedance_sensitivities
+
+__all__ = [
+    "max_relative_error",
+    "rms_db_error",
+    "frequency_error",
+    "transient_error",
+    "crossover_order",
+    "Table",
+    "ExperimentRecord",
+    "ascii_plot",
+    "z_to_y",
+    "y_to_z",
+    "z_to_s",
+    "s_to_z",
+    "max_singular_value",
+    "is_passive_scattering",
+    "impedance_sensitivities",
+]

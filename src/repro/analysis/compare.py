@@ -1,0 +1,71 @@
+"""Error metrics between responses (exact vs reduced)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.results import FrequencyResponse, TransientResult
+
+__all__ = [
+    "max_relative_error",
+    "rms_db_error",
+    "frequency_error",
+    "transient_error",
+    "crossover_order",
+]
+
+
+def max_relative_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """``max_k |approx_k - exact_k| / max_k |exact_k|`` over all entries.
+
+    Normalizing by the global maximum (not pointwise) keeps deep
+    response nulls from dominating the metric, matching how accuracy is
+    judged visually in the paper's figures.
+    """
+    approx = np.asarray(approx)
+    exact = np.asarray(exact)
+    scale = float(np.abs(exact).max())
+    if scale == 0.0:
+        return float(np.abs(approx).max())
+    return float(np.abs(approx - exact).max() / scale)
+
+
+def rms_db_error(approx: np.ndarray, exact: np.ndarray, floor: float = 1e-20) -> float:
+    """RMS difference of the dB magnitudes (figure-overlay metric)."""
+    a = 20.0 * np.log10(np.maximum(np.abs(np.asarray(approx)), floor))
+    e = 20.0 * np.log10(np.maximum(np.abs(np.asarray(exact)), floor))
+    return float(np.sqrt(np.mean((a - e) ** 2)))
+
+
+def frequency_error(
+    approx: FrequencyResponse, exact: FrequencyResponse
+) -> dict[str, float]:
+    """Summary error metrics between two frequency responses."""
+    if approx.z.shape != exact.z.shape:
+        raise ValueError("responses have different shapes")
+    return {
+        "max_rel": max_relative_error(approx.z, exact.z),
+        "rms_db": rms_db_error(approx.z, exact.z),
+    }
+
+
+def transient_error(
+    approx: TransientResult, exact: TransientResult
+) -> dict[str, float]:
+    """Summary error metrics between two transients on the same grid."""
+    if approx.outputs.shape != exact.outputs.shape:
+        raise ValueError("transients have different shapes")
+    scale = float(np.abs(exact.outputs).max())
+    diff = np.abs(approx.outputs - exact.outputs)
+    return {
+        "max_rel": float(diff.max() / scale) if scale else float(diff.max()),
+        "rms": float(np.sqrt(np.mean(diff**2))),
+    }
+
+
+def crossover_order(orders: list[int], errors: list[float], target: float) -> int | None:
+    """Smallest order whose error is at or below ``target`` (None if never)."""
+    for order, error in sorted(zip(orders, errors)):
+        if error <= target:
+            return order
+    return None

@@ -1,0 +1,88 @@
+"""Network-parameter conversions (Z / Y / S).
+
+The library computes Z-parameters (the paper's formulation allows only
+current excitation, section 2.1); downstream users of package and
+interconnect macromodels usually want S-parameters.  These helpers
+convert sampled multi-port matrices between representations and check
+passivity in the scattering domain (``||S|| <= 1``), complementing the
+impedance-domain positive-real test of :mod:`repro.core.passivity`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "z_to_y",
+    "y_to_z",
+    "z_to_s",
+    "s_to_z",
+    "max_singular_value",
+    "is_passive_scattering",
+]
+
+
+def _per_point(matrices: np.ndarray) -> tuple[np.ndarray, bool]:
+    arr = np.asarray(matrices)
+    if arr.ndim == 2:
+        return arr[None, :, :], True
+    if arr.ndim != 3 or arr.shape[-1] != arr.shape[-2]:
+        raise ValueError("expected a p x p matrix or an (m, p, p) stack")
+    return arr, False
+
+
+def z_to_y(z: np.ndarray) -> np.ndarray:
+    """Admittance from impedance: ``Y = Z^{-1}`` per frequency point."""
+    arr, scalar = _per_point(z)
+    out = np.linalg.inv(arr)
+    return out[0] if scalar else out
+
+
+def y_to_z(y: np.ndarray) -> np.ndarray:
+    """Impedance from admittance: ``Z = Y^{-1}`` per frequency point."""
+    return z_to_y(y)
+
+
+def z_to_s(z: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    """Scattering from impedance with reference ``z0``:
+    ``S = (Z - z0 I)(Z + z0 I)^{-1}``."""
+    if z0 <= 0:
+        raise ValueError("reference impedance must be positive")
+    arr, scalar = _per_point(z)
+    p = arr.shape[-1]
+    eye = z0 * np.eye(p)
+    out = np.empty_like(arr, dtype=complex)
+    for k in range(arr.shape[0]):
+        out[k] = (arr[k] - eye) @ np.linalg.inv(arr[k] + eye)
+    return out[0] if scalar else out
+
+
+def s_to_z(s: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    """Impedance from scattering: ``Z = z0 (I + S)(I - S)^{-1}``."""
+    if z0 <= 0:
+        raise ValueError("reference impedance must be positive")
+    arr, scalar = _per_point(s)
+    p = arr.shape[-1]
+    eye = np.eye(p)
+    out = np.empty_like(arr, dtype=complex)
+    for k in range(arr.shape[0]):
+        out[k] = z0 * (eye + arr[k]) @ np.linalg.inv(eye - arr[k])
+    return out[0] if scalar else out
+
+
+def max_singular_value(s: np.ndarray) -> float:
+    """Largest singular value over all points of an S-parameter stack."""
+    arr, _ = _per_point(s)
+    return float(
+        max(np.linalg.svd(arr[k], compute_uv=False).max()
+            for k in range(arr.shape[0]))
+    )
+
+
+def is_passive_scattering(s: np.ndarray, tol: float = 1e-8) -> bool:
+    """Scattering-domain passivity: ``sigma_max(S) <= 1`` everywhere.
+
+    Equivalent to the impedance-domain positive-real condition on the
+    sampled set (for a positive reference impedance).
+    """
+    return max_singular_value(s) <= 1.0 + tol

@@ -1,0 +1,135 @@
+"""Plain-text tables and experiment records for the benchmark harness.
+
+Every benchmark prints the series/rows it regenerates through these
+helpers, so EXPERIMENTS.md entries can be copied verbatim from the
+bench output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Table", "ExperimentRecord", "ascii_plot"]
+
+
+class Table:
+    """Fixed-width text table with a title row.
+
+    >>> t = Table("demo", ["order", "error"])
+    >>> t.row(8, 1.5e-3)
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, title: str, columns: list[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_format(v) for v in values])
+
+    def render(self) -> str:
+        widths = [
+            max(len(col), *(len(r[i]) for r in self.rows)) if self.rows else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if 1e-3 <= abs(value) < 1e5:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+@dataclass
+class ExperimentRecord:
+    """Paper-vs-measured record for one experiment id (EXPERIMENTS.md)."""
+
+    experiment_id: str
+    description: str
+    paper: str
+    measured: str
+    shape_holds: bool
+    note: str = ""
+
+    def render(self) -> str:
+        status = "OK" if self.shape_holds else "MISMATCH"
+        lines = [
+            f"[{self.experiment_id}] {self.description} -- {status}",
+            f"  paper:    {self.paper}",
+            f"  measured: {self.measured}",
+        ]
+        if self.note:
+            lines.append(f"  note:     {self.note}")
+        return "\n".join(lines)
+
+
+def ascii_plot(
+    x,
+    series: dict,
+    *,
+    width: int = 72,
+    height: int = 18,
+    logy: bool = True,
+    title: str = "",
+) -> str:
+    """Render one or more ``y(x)`` series as an ASCII chart.
+
+    Each entry of ``series`` maps a single-character marker label's
+    name to a y-array; the first character of the name is the plot
+    marker.  With ``logy`` the magnitudes are plotted in dB-like log10
+    scale (zeros floored).  Used by the examples in place of matplotlib
+    (which is not a dependency).
+    """
+    import numpy as np
+
+    x = np.asarray(x, dtype=float)
+    rows = [[" "] * width for _ in range(height)]
+
+    def transform(y):
+        y = np.abs(np.asarray(y, dtype=float))
+        if logy:
+            return np.log10(np.maximum(y, 1e-30))
+        return y
+
+    transformed = {name: transform(y) for name, y in series.items()}
+    y_all = np.concatenate(list(transformed.values()))
+    y_min, y_max = float(y_all.min()), float(y_all.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    for name, y in transformed.items():
+        marker = name[0]
+        for xv, yv in zip(x, y):
+            col = int((xv - x_min) / (x_max - x_min) * (width - 1))
+            row = int((yv - y_min) / (y_max - y_min) * (height - 1))
+            rows[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    unit = "log10|y|" if logy else "y"
+    lines.append(f"{unit} in [{y_min:.3g}, {y_max:.3g}],  x in [{x_min:.3g}, {x_max:.3g}]")
+    lines.extend("|" + "".join(r) + "|" for r in rows)
+    lines.append("legend: " + ", ".join(f"'{k[0]}' = {k}" for k in series))
+    return "\n".join(lines)

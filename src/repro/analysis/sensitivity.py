@@ -1,0 +1,119 @@
+"""Adjoint sensitivity of the multi-port impedance to element values.
+
+For the kernel ``H(sigma) = B^T X`` with ``(G + sigma C) X = B``, the
+derivative with respect to an element value ``theta`` is
+
+``dH/dtheta = -X^T (dG/dtheta + sigma dC/dtheta) X``
+
+(using the symmetry of the pencil, so the adjoint solve *is* the
+forward solve).  Element stamps are rank-one (R, C, self-L through the
+general MNA form), which makes each sensitivity an outer-product
+contraction of the solved columns -- all p^2 entries for all elements
+come from a single factorization per frequency.
+
+This is standard SPICE-adjacent machinery; it is included as substrate
+so reduced-model accuracy can be related to element-level variations
+(see `examples` and the tests, which validate against finite
+differences).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuits.elements import GROUND
+from repro.circuits.mna import MNASystem, assemble_mna
+from repro.circuits.netlist import Netlist
+from repro.errors import FactorizationError, SimulationError
+from repro.linalg.utils import checked_splu
+
+__all__ = ["impedance_sensitivities"]
+
+
+def _stamp_vector(system: MNASystem, node_pos: str, node_neg: str) -> np.ndarray:
+    """Incidence vector of a branch over the system unknowns."""
+    vector = np.zeros(system.size)
+    if node_pos != GROUND:
+        vector[system.node_index[node_pos]] = 1.0
+    if node_neg != GROUND:
+        vector[system.node_index[node_neg]] = -1.0
+    return vector
+
+
+def impedance_sensitivities(
+    net: Netlist,
+    s: complex,
+    element_names: list[str] | None = None,
+) -> dict[str, np.ndarray]:
+    """``dZ/d(value)`` for each requested R/C/L element at frequency ``s``.
+
+    Parameters
+    ----------
+    net:
+        The circuit (assembled internally with the general ``"mna"``
+        formulation so every element class has a first-order stamp).
+    s:
+        Complex frequency point.
+    element_names:
+        Which elements to differentiate (default: all R, C, and
+        self-inductance L elements; mutual couplings are not supported).
+
+    Returns
+    -------
+    dict
+        Element name -> complex ``p x p`` array ``dZ(s)/d(value)`` in
+        the element's natural unit (ohms, farads, henries).
+
+    Notes
+    -----
+    Derivations per class (all from the MNA stamps):
+
+    * resistor: ``dG/dR = -(1/R^2) a a^T`` with incidence ``a``;
+    * capacitor: ``dC/dC_val = a a^T``;
+    * inductor: the MNA form keeps ``i_L`` as an unknown with the stamp
+      ``-L`` on its diagonal of ``C``, so ``dC/dL = -e e^T`` on that
+      current's row/column.
+    """
+    system = assemble_mna(net, "mna")
+    matrix = sp.csc_matrix(system.G + s * system.C, dtype=complex)
+    try:
+        lu = checked_splu(matrix, rtol=1e-9)
+    except FactorizationError as exc:
+        raise SimulationError(f"G + sC singular at s={s}") from exc
+    x = lu.solve(system.B.astype(complex))  # N x p solved columns
+
+    if element_names is None:
+        element_names = [e.name for e in net.resistors]
+        element_names += [e.name for e in net.capacitors]
+        element_names += [e.name for e in net.inductors]
+
+    inductor_row = {
+        ind.name: len(net.nodes) + k for k, ind in enumerate(net.inductors)
+    }
+
+    out: dict[str, np.ndarray] = {}
+    for name in element_names:
+        element = net[name]
+        prefix = element.prefix
+        if prefix == "R":
+            a = _stamp_vector(system, element.node_pos, element.node_neg)
+            ax = a @ x  # 1 x p contraction
+            # dG/dR = -(1/R^2) a a^T  =>  dH = +(1/R^2) (a^T X)^T (a^T X)
+            out[name] = (1.0 / element.value**2) * np.outer(ax, ax)
+        elif prefix == "C":
+            a = _stamp_vector(system, element.node_pos, element.node_neg)
+            ax = a @ x
+            # dC/dCval = a a^T  =>  dH = -s (a^T X)^T (a^T X)
+            out[name] = -s * np.outer(ax, ax)
+        elif prefix == "L":
+            row = inductor_row[name]
+            ex = x[row]
+            # dC/dL = -e e^T on the current row  =>  dH = +s (e^T X)^2
+            out[name] = s * np.outer(ex, ex)
+        else:
+            raise SimulationError(
+                f"element {name!r} has no first-order value sensitivity "
+                "(only R, C, and self-L are supported)"
+            )
+    return out

@@ -1,0 +1,71 @@
+"""Circuit representation, netlist I/O, MNA assembly, and generators."""
+
+from repro.circuits.compose import merge_netlists
+
+from repro.circuits.elements import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    MutualInductance,
+    Port,
+    Resistor,
+    TwoTerminal,
+    VoltageSource,
+)
+from repro.circuits.generators import (
+    coupled_rc_bus,
+    package_model,
+    peec_like_lc,
+    random_passive,
+    rc_ladder,
+    rc_mesh,
+    rc_tree,
+    rlc_line,
+)
+from repro.circuits.mna import MNASystem, TransferMap, assemble_mna
+from repro.circuits.netlist import Netlist
+from repro.circuits.parser import parse_netlist, write_netlist
+from repro.circuits.topology import (
+    IncidenceMatrices,
+    build_incidence,
+    check_grounded,
+    connected_components,
+)
+from repro.circuits.validate import check_passive, check_reducible, validate_netlist
+
+__all__ = [
+    "GROUND",
+    "merge_netlists",
+    "Element",
+    "TwoTerminal",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "MutualInductance",
+    "CurrentSource",
+    "VoltageSource",
+    "Port",
+    "Netlist",
+    "parse_netlist",
+    "write_netlist",
+    "IncidenceMatrices",
+    "build_incidence",
+    "connected_components",
+    "check_grounded",
+    "MNASystem",
+    "TransferMap",
+    "assemble_mna",
+    "check_passive",
+    "check_reducible",
+    "validate_netlist",
+    "rc_ladder",
+    "rc_tree",
+    "rc_mesh",
+    "coupled_rc_bus",
+    "rlc_line",
+    "peec_like_lc",
+    "package_model",
+    "random_passive",
+]

@@ -1,0 +1,117 @@
+"""Netlist composition: merging sub-blocks into host circuits.
+
+Supports the paper's workflow of replacing a large linear sub-block of
+a bigger circuit: the *full* reference system is built by merging the
+block netlist into the host (this module); the *reduced* system stamps
+the block's reduced-order model instead (:mod:`repro.synthesis.stamping`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+
+from repro.circuits.elements import (
+    GROUND,
+    MutualInductance,
+    Port,
+    TwoTerminal,
+)
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+__all__ = ["merge_netlists"]
+
+
+def merge_netlists(
+    host: Netlist,
+    block: Netlist,
+    connections: dict[str, str],
+    *,
+    prefix: str = "blk",
+    keep_block_ports: bool = False,
+) -> Netlist:
+    """Splice ``block`` into ``host``, wiring block ports to host nodes.
+
+    Parameters
+    ----------
+    host:
+        The surrounding circuit (may contain sources; its ports and
+        elements are copied verbatim).
+    block:
+        The sub-circuit; each of its ports is attached to a host node.
+    connections:
+        Maps every block port name to a host node name.  A block port's
+        ``plus`` terminal is tied to that node (its ``minus`` terminal
+        must be ground).
+    prefix:
+        Internal block node and element names are prefixed with
+        ``"<prefix>."`` to avoid collisions.
+    keep_block_ports:
+        When True the block's ports are re-declared (renamed with the
+        prefix) on the merged netlist, useful for observing internal
+        interface quantities.
+
+    Returns
+    -------
+    Netlist
+        A new netlist; inputs are not modified.
+
+    Raises
+    ------
+    CircuitError
+        On missing/unknown port connections or non-grounded block ports.
+    """
+    block_ports = {p.name: p for p in block.ports}
+    unknown = set(connections) - set(block_ports)
+    if unknown:
+        raise CircuitError(f"connections reference unknown block ports: {sorted(unknown)}")
+    missing = set(block_ports) - set(connections)
+    if missing:
+        raise CircuitError(f"block ports left unconnected: {sorted(missing)}")
+    for port in block_ports.values():
+        if port.node_neg != GROUND:
+            raise CircuitError(
+                f"block port {port.name} must be ground-referenced to merge"
+            )
+
+    node_map: dict[str, str] = {GROUND: GROUND}
+    for name, port in block_ports.items():
+        node_map[port.node_pos] = connections[name]
+
+    def mapped(node: str) -> str:
+        if node in node_map:
+            return node_map[node]
+        return f"{prefix}.{node}"
+
+    merged = Netlist(title=f"{host.title} + {prefix}({block.title})")
+    for element in host:
+        merged.add(element)
+    for element in block:
+        if isinstance(element, Port):
+            if keep_block_ports:
+                merged.port(
+                    f"{prefix}.{element.name}", mapped(element.node_pos)
+                )
+            continue
+        new_name = f"{prefix}.{element.name}"
+        if isinstance(element, MutualInductance):
+            merged.add(
+                dataclass_replace(
+                    element,
+                    name=new_name,
+                    inductor_a=f"{prefix}.{element.inductor_a}",
+                    inductor_b=f"{prefix}.{element.inductor_b}",
+                )
+            )
+        elif isinstance(element, TwoTerminal):
+            merged.add(
+                dataclass_replace(
+                    element,
+                    name=new_name,
+                    node_pos=mapped(element.node_pos),
+                    node_neg=mapped(element.node_neg),
+                )
+            )
+        else:  # pragma: no cover - no other element kinds exist
+            raise CircuitError(f"cannot merge element {element!r}")
+    return merged

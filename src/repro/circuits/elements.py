@@ -1,0 +1,239 @@
+"""Circuit element definitions.
+
+Every element is an immutable dataclass identified by a unique ``name``
+and attached to named nodes.  The datum (ground) node is always called
+``"0"`` following SPICE convention.
+
+Element values are validated to be finite and non-zero at construction
+time.  *Positivity* is deliberately **not** enforced here: the synthesis
+back-end of SyMPVL (paper section 6) legitimately produces circuits with
+negative-valued resistors and capacitors.  Use
+:func:`repro.circuits.validate.check_passive` to assert that a netlist
+consists of positive-valued (physically passive) elements only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import CircuitError
+
+__all__ = [
+    "GROUND",
+    "Element",
+    "TwoTerminal",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "MutualInductance",
+    "CurrentSource",
+    "VoltageSource",
+    "Port",
+]
+
+#: Name of the datum (ground) node.
+GROUND = "0"
+
+
+def _check_name(name: str) -> None:
+    if not isinstance(name, str) or not name:
+        raise CircuitError(f"element name must be a non-empty string, got {name!r}")
+    if any(ch.isspace() for ch in name):
+        raise CircuitError(f"element name may not contain whitespace: {name!r}")
+
+
+def _check_node(node: str) -> None:
+    if not isinstance(node, str) or not node:
+        raise CircuitError(f"node name must be a non-empty string, got {node!r}")
+    if any(ch.isspace() for ch in node):
+        raise CircuitError(f"node name may not contain whitespace: {node!r}")
+
+
+def _check_value(name: str, value: float, *, allow_zero: bool = False) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise CircuitError(f"{name}: value must be a real number, got {value!r}")
+    if not math.isfinite(value):
+        raise CircuitError(f"{name}: value must be finite, got {value!r}")
+    if value == 0.0 and not allow_zero:
+        raise CircuitError(f"{name}: value must be non-zero")
+
+
+@dataclass(frozen=True)
+class Element:
+    """Base class for all circuit elements."""
+
+    name: str
+
+    #: single-letter SPICE-style prefix, overridden by subclasses
+    prefix = "?"
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Nodes this element touches (empty for coupling elements)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class TwoTerminal(Element):
+    """An element connected between two nodes.
+
+    By convention (paper section 2.1) the branch is directed from
+    ``node_pos`` (the ``+1`` entry of the adjacency row) to ``node_neg``
+    (the ``-1`` entry).
+    """
+
+    node_pos: str
+    node_neg: str
+    value: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_node(self.node_pos)
+        _check_node(self.node_neg)
+        if self.node_pos == self.node_neg:
+            raise CircuitError(
+                f"{self.name}: both terminals attached to node {self.node_pos!r}"
+            )
+        _check_value(self.name, self.value, allow_zero=self._value_may_be_zero())
+
+    def _value_may_be_zero(self) -> bool:
+        return False
+
+    @property
+    def nodes(self) -> tuple[str, str]:
+        return (self.node_pos, self.node_neg)
+
+
+@dataclass(frozen=True)
+class Resistor(TwoTerminal):
+    """Linear resistor; ``value`` is the resistance in ohms."""
+
+    prefix = "R"
+
+    @property
+    def conductance(self) -> float:
+        """Branch conductance ``1 / R``."""
+        return 1.0 / self.value
+
+
+@dataclass(frozen=True)
+class Capacitor(TwoTerminal):
+    """Linear capacitor; ``value`` is the capacitance in farads."""
+
+    prefix = "C"
+
+
+@dataclass(frozen=True)
+class Inductor(TwoTerminal):
+    """Linear (self-)inductor; ``value`` is the inductance in henries.
+
+    Inductive coupling between two inductors is expressed with a separate
+    :class:`MutualInductance` element referencing the inductor names.
+    """
+
+    prefix = "L"
+
+
+@dataclass(frozen=True)
+class MutualInductance(Element):
+    """Inductive coupling between two named inductors.
+
+    Parameters
+    ----------
+    inductor_a, inductor_b:
+        Names of the two coupled :class:`Inductor` elements.
+    coupling:
+        Either the dimensionless coupling coefficient ``k`` with
+        ``|k| < 1`` (SPICE ``K`` element semantics, the default) or a raw
+        mutual inductance ``M`` in henries when ``is_coefficient`` is
+        False.  The branch inductance matrix entry is
+        ``M = k * sqrt(L_a * L_b)`` in the coefficient case.
+    """
+
+    inductor_a: str
+    inductor_b: str
+    coupling: float
+    is_coefficient: bool = True
+
+    prefix = "K"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_name(self.inductor_a)
+        _check_name(self.inductor_b)
+        if self.inductor_a == self.inductor_b:
+            raise CircuitError(f"{self.name}: cannot couple inductor to itself")
+        _check_value(self.name, self.coupling)
+        if self.is_coefficient and not abs(self.coupling) < 1.0:
+            raise CircuitError(
+                f"{self.name}: coupling coefficient must satisfy |k| < 1, "
+                f"got {self.coupling}"
+            )
+
+
+@dataclass(frozen=True)
+class CurrentSource(TwoTerminal):
+    """Independent current source.
+
+    ``value`` is the DC current in amperes flowing *through* the branch
+    from ``node_pos`` to ``node_neg``; time-varying drive is attached at
+    simulation time (see :mod:`repro.simulation.sources`).  A value of
+    zero is allowed (a port placeholder carries no DC drive).
+    """
+
+    prefix = "I"
+    value: float = 0.0
+
+    def _value_may_be_zero(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class VoltageSource(TwoTerminal):
+    """Independent voltage source.
+
+    Voltage sources are supported by the *simulation* engines only (they
+    break the current-source-only symmetric formulation of the paper,
+    section 2.1).  The MOR drivers reject netlists containing them; use a
+    Norton equivalent (current source in parallel with a resistor) to
+    drive a network that will be reduced.
+    """
+
+    prefix = "V"
+    value: float = 0.0
+
+    def _value_may_be_zero(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Port(Element):
+    """A named terminal pair of the multi-port under study.
+
+    A port contributes one column to the input matrix ``B`` of the MNA
+    system (eq. 3): a unit current injection from ``node_neg`` into
+    ``node_pos``.  The impedance matrix ``Z(s)`` computed by the library
+    is indexed by ports in their order of addition to the netlist.
+    """
+
+    node_pos: str
+    node_neg: str = GROUND
+
+    prefix = "P"
+    #: ports carry no element value
+    value: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_node(self.node_pos)
+        _check_node(self.node_neg)
+        if self.node_pos == self.node_neg:
+            raise CircuitError(f"{self.name}: port terminals coincide")
+
+    @property
+    def nodes(self) -> tuple[str, str]:
+        return (self.node_pos, self.node_neg)

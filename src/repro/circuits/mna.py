@@ -1,0 +1,347 @@
+"""Modified nodal analysis (MNA) assembly.
+
+Builds the symmetric matrix triple ``(G, C, B)`` of eqs. (3)-(6) of the
+paper, in one of four formulations:
+
+``"mna"``
+    The general RLC form: unknowns are node voltages plus inductor
+    currents, ``G`` and ``C`` symmetric but in general indefinite, and
+    ``Z(s) = B^T (G + s C)^{-1} B``.
+``"rc"``
+    RC circuits: unknowns are node voltages, ``G = A_g^T script-G A_g``
+    and ``C = A_c^T script-C A_c`` are symmetric positive semi-definite,
+    and ``Z(s) = B^T (G + s C)^{-1} B``.
+``"rl"``
+    RL circuits, transformed per eq. (7): ``G = A_l^T L^{-1} A_l``,
+    ``C = A_g^T script-G A_g`` (both PSD) and
+    ``Z(s) = s * B^T (G + s C)^{-1} B``.
+``"lc"``
+    LC circuits, transformed per eqs. (8)-(9): ``G = A_l^T L^{-1} A_l``,
+    ``C = A_c^T script-C A_c`` (both PSD) and
+    ``Z(s) = s * B^T (G + s^2 C)^{-1} B`` (the ``sigma = s^2`` change of
+    variables of the paper).
+
+:func:`assemble_mna` with ``formulation="auto"`` picks the special PSD
+form whenever the circuit class admits one, because those forms carry
+the stability/passivity guarantees of paper section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.topology import IncidenceMatrices, build_incidence
+from repro.errors import AssemblyError
+
+__all__ = [
+    "TransferMap",
+    "MNASystem",
+    "assemble_mna",
+    "lc_inductor_current_output",
+    "with_output_columns",
+]
+
+#: largest inductor count for which ``L^{-1}`` is formed densely
+_DENSE_LINV_LIMIT = 3000
+
+
+@dataclass(frozen=True)
+class TransferMap:
+    """How the physical impedance relates to the resolvent kernel.
+
+    The library internally approximates the kernel
+    ``H(sigma) = B^T (G + sigma C)^{-1} B``; the physical impedance is
+
+    ``Z(s) = s**prefactor_power * H(s**sigma_power)``.
+    """
+
+    sigma_power: int = 1
+    prefactor_power: int = 0
+
+    def sigma(self, s: complex | np.ndarray) -> complex | np.ndarray:
+        """Map physical frequency ``s`` to the kernel variable ``sigma``."""
+        return s if self.sigma_power == 1 else np.asarray(s) ** self.sigma_power
+
+    def prefactor(self, s: complex | np.ndarray) -> complex | np.ndarray:
+        """Scalar multiplier ``s**prefactor_power``."""
+        if self.prefactor_power == 0:
+            return 1.0
+        return np.asarray(s) ** self.prefactor_power
+
+
+@dataclass
+class MNASystem:
+    """Assembled symmetric circuit matrices.
+
+    Attributes
+    ----------
+    G, C:
+        Real symmetric ``N x N`` sparse matrices (CSR).
+    B:
+        Dense real ``N x p`` input matrix; column ``j`` is the current
+        injection pattern of port ``j``.
+    transfer:
+        The :class:`TransferMap` relating ``Z(s)`` to the kernel.
+    formulation:
+        One of ``"mna"``, ``"rc"``, ``"rl"``, ``"lc"``.
+    kind:
+        The element-class label of the source netlist (``"RC"``, ...).
+    state_labels:
+        Human-readable name of each unknown (node voltages first, then
+        ``i(Lname)`` rows for the ``"mna"`` formulation).
+    psd_guaranteed:
+        True when both ``G`` and ``C`` are PSD by construction, which is
+        exactly when the paper's stability/passivity theorems apply.
+    """
+
+    G: sp.csr_matrix
+    C: sp.csr_matrix
+    B: np.ndarray
+    node_index: dict[str, int]
+    port_names: list[str]
+    formulation: str
+    kind: str
+    transfer: TransferMap = field(default_factory=TransferMap)
+    state_labels: list[str] = field(default_factory=list)
+    #: all R/L/C element values positive (negative-element synthesized
+    #: circuits lose the PSD structure and hence the section-5 guarantee)
+    passive_values: bool = True
+
+    @property
+    def size(self) -> int:
+        """Number of unknowns ``N``."""
+        return self.G.shape[0]
+
+    @property
+    def num_ports(self) -> int:
+        return self.B.shape[1]
+
+    @property
+    def psd_guaranteed(self) -> bool:
+        return self.passive_values and self.formulation in ("rc", "rl", "lc")
+
+    def shifted_g(self, s0: float) -> sp.csr_matrix:
+        """The expansion-point matrix ``G + s0 C`` of eq. (26)."""
+        if s0 == 0.0:
+            return self.G
+        return (self.G + s0 * self.C).tocsr()
+
+
+def _node_matrix(a: sp.csr_matrix, values: np.ndarray) -> sp.csr_matrix:
+    """Form ``A^T diag(values) A`` (e.g. ``A_g^T script-G A_g``)."""
+    if a.shape[0] == 0:
+        return sp.csr_matrix((a.shape[1], a.shape[1]), dtype=float)
+    return (a.T @ sp.diags(values) @ a).tocsr()
+
+
+def _inductor_loop_matrix(inc: IncidenceMatrices) -> sp.csr_matrix:
+    """Form ``A_l^T L^{-1} A_l`` used by the RL and LC formulations."""
+    n_l = inc.inductance.shape[0]
+    if n_l == 0:
+        n = inc.num_nodes
+        return sp.csr_matrix((n, n), dtype=float)
+    if n_l <= _DENSE_LINV_LIMIT:
+        ldense = inc.inductance.toarray()
+        try:
+            linv = np.linalg.inv(ldense)
+        except np.linalg.LinAlgError as exc:
+            raise AssemblyError(
+                "branch inductance matrix is singular; check mutual "
+                "coupling coefficients"
+            ) from exc
+        linv = 0.5 * (linv + linv.T)
+        al = inc.a_l.toarray()
+        return sp.csr_matrix(al.T @ linv @ al)
+    lu = spla.splu(inc.inductance.tocsc())
+    al_dense = inc.a_l.toarray()
+    linv_al = lu.solve(al_dense)
+    return sp.csr_matrix(al_dense.T @ linv_al)
+
+
+def _port_matrix(inc: IncidenceMatrices, extra_rows: int = 0) -> np.ndarray:
+    """Dense ``B`` from the port incidence matrix, zero-padded below."""
+    b_nodes = inc.a_p.T.toarray()
+    if extra_rows == 0:
+        return b_nodes
+    n_ports = b_nodes.shape[1]
+    return np.vstack([b_nodes, np.zeros((extra_rows, n_ports))])
+
+
+def assemble_mna(net: Netlist, formulation: str = "auto") -> MNASystem:
+    """Assemble the symmetric MNA system for ``net``.
+
+    Parameters
+    ----------
+    net:
+        The circuit; must declare at least one port and contain no
+        voltage sources (use a Norton equivalent for those).
+    formulation:
+        ``"auto"`` (default) selects the PSD special form matching the
+        circuit class, falling back to general ``"mna"`` for true RLC
+        circuits.  A specific form may be forced; forcing ``"rc"`` on a
+        circuit with inductors (etc.) raises :class:`AssemblyError`.
+
+    Returns
+    -------
+    MNASystem
+
+    Raises
+    ------
+    AssemblyError
+        On empty port list, voltage sources present, or an incompatible
+        forced formulation.
+    """
+    if not net.ports:
+        raise AssemblyError(
+            "netlist declares no ports; add at least one with Netlist.port()"
+        )
+    if net.voltage_sources:
+        raise AssemblyError(
+            "voltage sources are not supported by the symmetric "
+            "formulation; replace them with Norton equivalents "
+            "(current source in parallel with a resistor)"
+        )
+
+    kind = net.classify()
+    if formulation == "auto":
+        formulation = {
+            "RC": "rc", "R": "rc", "C": "rc",
+            "RL": "rl", "L": "rl",
+            "LC": "lc",
+        }.get(kind, "mna")
+
+    inc = build_incidence(net)
+    nodes = list(net.nodes)
+
+    if formulation == "rc":
+        if net.inductors:
+            raise AssemblyError(
+                f'formulation "rc" forced on a circuit of kind {kind}'
+            )
+        g_mat = _node_matrix(inc.a_g, inc.conductances)
+        c_mat = _node_matrix(inc.a_c, inc.capacitances)
+        b_mat = _port_matrix(inc)
+        transfer = TransferMap(sigma_power=1, prefactor_power=0)
+        labels = [f"v({n})" for n in nodes]
+    elif formulation == "rl":
+        if net.capacitors:
+            raise AssemblyError(
+                f'formulation "rl" forced on a circuit of kind {kind}'
+            )
+        g_mat = _inductor_loop_matrix(inc)
+        c_mat = _node_matrix(inc.a_g, inc.conductances)
+        b_mat = _port_matrix(inc)
+        transfer = TransferMap(sigma_power=1, prefactor_power=1)
+        labels = [f"v({n})" for n in nodes]
+    elif formulation == "lc":
+        if net.resistors:
+            raise AssemblyError(
+                f'formulation "lc" forced on a circuit of kind {kind}'
+            )
+        g_mat = _inductor_loop_matrix(inc)
+        c_mat = _node_matrix(inc.a_c, inc.capacitances)
+        b_mat = _port_matrix(inc)
+        transfer = TransferMap(sigma_power=2, prefactor_power=1)
+        labels = [f"v({n})" for n in nodes]
+    elif formulation == "mna":
+        n_nodes = inc.num_nodes
+        n_l = len(net.inductors)
+        g_nodes = _node_matrix(inc.a_g, inc.conductances)
+        c_nodes = _node_matrix(inc.a_c, inc.capacitances)
+        g_mat = sp.bmat(
+            [[g_nodes, inc.a_l.T], [inc.a_l, None]], format="csr"
+        ) if n_l else g_nodes
+        zeros = sp.csr_matrix((n_nodes, n_l))
+        c_mat = sp.bmat(
+            [[c_nodes, zeros], [zeros.T, -inc.inductance]], format="csr"
+        ) if n_l else c_nodes
+        b_mat = _port_matrix(inc, extra_rows=n_l)
+        transfer = TransferMap(sigma_power=1, prefactor_power=0)
+        labels = [f"v({n})" for n in nodes]
+        labels += [f"i({ind.name})" for ind in net.inductors]
+    else:
+        raise AssemblyError(f"unknown formulation {formulation!r}")
+
+    passive_values = all(
+        element.value > 0.0
+        for element in (
+            list(net.resistors) + list(net.capacitors) + list(net.inductors)
+        )
+    )
+    return MNASystem(
+        G=g_mat.tocsr(),
+        C=c_mat.tocsr(),
+        B=np.asarray(b_mat, dtype=float),
+        node_index=inc.node_index,
+        port_names=net.port_names,
+        formulation=formulation,
+        kind=kind,
+        transfer=transfer,
+        state_labels=labels,
+        passive_values=passive_values,
+    )
+
+
+def lc_inductor_current_output(net: Netlist, inductor_name: str) -> np.ndarray:
+    """The output vector ``l`` selecting an inductor current (section 7.1).
+
+    In the LC nodal formulation the inductor currents satisfy
+    ``s I_l = L^{-1} A_l V``, so observing ``I_o = b^T I_l`` corresponds
+    to the nodal output vector ``l = A_l^T L^{-1} b`` (with the output
+    picked up as ``(1/s) l^T V``; the paper's PEEC experiment folds the
+    ``1/s`` into the plotted quantity).  ``b`` selects the inductor
+    named ``inductor_name``.
+    """
+    inductors = net.inductors
+    names = [ind.name for ind in inductors]
+    if inductor_name not in names:
+        raise AssemblyError(f"no inductor named {inductor_name!r}")
+    from repro.circuits.topology import build_incidence
+
+    inc = build_incidence(net)
+    selector = np.zeros(len(inductors))
+    selector[names.index(inductor_name)] = 1.0
+    lmat = inc.inductance.toarray()
+    try:
+        linv_b = np.linalg.solve(lmat, selector)
+    except np.linalg.LinAlgError as exc:
+        raise AssemblyError("branch inductance matrix is singular") from exc
+    return np.asarray(inc.a_l.T @ linv_b)
+
+
+def with_output_columns(
+    system: MNASystem, columns: np.ndarray, names: list[str]
+) -> MNASystem:
+    """A copy of ``system`` with extra (generalized) ``B`` columns.
+
+    Used to reproduce the paper's PEEC setup, where the second port of
+    the 2 x 2 transfer function (eq. 25, ``B = [a, l]``) is not a node
+    pair but an inductor-current observation vector.
+    """
+    columns = np.atleast_2d(np.asarray(columns, dtype=float))
+    if columns.shape[0] != system.size:
+        columns = columns.T
+    if columns.shape[0] != system.size:
+        raise AssemblyError(
+            f"output columns must have length {system.size}"
+        )
+    if columns.shape[1] != len(names):
+        raise AssemblyError("need one name per added column")
+    new_b = np.hstack([system.B, columns])
+    return MNASystem(
+        G=system.G,
+        C=system.C,
+        B=new_b,
+        node_index=system.node_index,
+        port_names=list(system.port_names) + list(names),
+        formulation=system.formulation,
+        kind=system.kind,
+        transfer=system.transfer,
+        state_labels=list(system.state_labels),
+        passive_values=system.passive_values,
+    )

@@ -1,0 +1,233 @@
+"""The :class:`Netlist` container.
+
+A :class:`Netlist` is an ordered collection of circuit elements plus the
+list of *ports* that define the multi-port whose impedance matrix
+``Z(s)`` the library reduces.  It offers convenience constructors
+(:meth:`Netlist.resistor` and friends), node bookkeeping, and queries
+used by the topology/MNA assembly layers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import TypeVar
+
+from repro.circuits.elements import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    MutualInductance,
+    Port,
+    Resistor,
+    VoltageSource,
+)
+from repro.errors import CircuitError
+
+__all__ = ["Netlist"]
+
+_E = TypeVar("_E", bound=Element)
+
+
+class Netlist:
+    """An ordered, named collection of circuit elements and ports.
+
+    Parameters
+    ----------
+    title:
+        Free-form description, preserved by the netlist writer.
+
+    Examples
+    --------
+    >>> net = Netlist("divider")
+    >>> net.resistor("R1", "in", "mid", 1e3)
+    >>> net.capacitor("C1", "mid", "0", 1e-12)
+    >>> net.port("p_in", "in")
+    >>> net.num_nodes  # non-datum nodes
+    2
+    """
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self._elements: dict[str, Element] = {}
+        self._ports: list[Port] = []
+        # Non-datum nodes in first-seen order; insertion order gives a
+        # deterministic node numbering for matrix assembly.
+        self._nodes: dict[str, None] = {}
+
+    # ------------------------------------------------------------------
+    # element management
+    # ------------------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Add ``element``; names must be unique across the netlist."""
+        if element.name in self._elements:
+            raise CircuitError(f"duplicate element name {element.name!r}")
+        if isinstance(element, MutualInductance):
+            for dep in (element.inductor_a, element.inductor_b):
+                existing = self._elements.get(dep)
+                if not isinstance(existing, Inductor):
+                    raise CircuitError(
+                        f"{element.name}: couples unknown inductor {dep!r} "
+                        "(add both inductors before the coupling element)"
+                    )
+        self._elements[element.name] = element
+        for node in element.nodes:
+            if node != GROUND:
+                self._nodes.setdefault(node)
+        if isinstance(element, Port):
+            self._ports.append(element)
+        return element
+
+    def extend(self, elements: Iterable[Element]) -> None:
+        """Add every element of ``elements`` in order."""
+        for element in elements:
+            self.add(element)
+
+    # --- convenience constructors ------------------------------------
+    def resistor(self, name: str, n1: str, n2: str, ohms: float) -> Resistor:
+        """Add a resistor of ``ohms`` between nodes ``n1`` and ``n2``."""
+        return self.add(Resistor(name, n1, n2, float(ohms)))
+
+    def capacitor(self, name: str, n1: str, n2: str, farads: float) -> Capacitor:
+        """Add a capacitor of ``farads`` between nodes ``n1`` and ``n2``."""
+        return self.add(Capacitor(name, n1, n2, float(farads)))
+
+    def inductor(self, name: str, n1: str, n2: str, henries: float) -> Inductor:
+        """Add an inductor of ``henries`` between nodes ``n1`` and ``n2``."""
+        return self.add(Inductor(name, n1, n2, float(henries)))
+
+    def mutual(
+        self,
+        name: str,
+        inductor_a: str,
+        inductor_b: str,
+        coupling: float,
+        *,
+        is_coefficient: bool = True,
+    ) -> MutualInductance:
+        """Couple two inductors (SPICE ``K`` element)."""
+        return self.add(
+            MutualInductance(name, inductor_a, inductor_b, float(coupling),
+                             is_coefficient)
+        )
+
+    def isource(self, name: str, n1: str, n2: str, amps: float = 0.0) -> CurrentSource:
+        """Add an independent current source from ``n1`` to ``n2``."""
+        return self.add(CurrentSource(name, n1, n2, float(amps)))
+
+    def vsource(self, name: str, n1: str, n2: str, volts: float = 0.0) -> VoltageSource:
+        """Add an independent voltage source (simulation-only element)."""
+        return self.add(VoltageSource(name, n1, n2, float(volts)))
+
+    def port(self, name: str, plus: str, minus: str = GROUND) -> Port:
+        """Declare a multi-port terminal pair (column of ``B``)."""
+        return self.add(Port(name, plus, minus))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def __getitem__(self, name: str) -> Element:
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise CircuitError(f"no element named {name!r}") from None
+
+    def elements_of(self, kind: type[_E]) -> list[_E]:
+        """All elements of exactly the given class, in insertion order."""
+        return [e for e in self._elements.values() if type(e) is kind]
+
+    @property
+    def resistors(self) -> list[Resistor]:
+        return self.elements_of(Resistor)
+
+    @property
+    def capacitors(self) -> list[Capacitor]:
+        return self.elements_of(Capacitor)
+
+    @property
+    def inductors(self) -> list[Inductor]:
+        return self.elements_of(Inductor)
+
+    @property
+    def mutuals(self) -> list[MutualInductance]:
+        return self.elements_of(MutualInductance)
+
+    @property
+    def current_sources(self) -> list[CurrentSource]:
+        return self.elements_of(CurrentSource)
+
+    @property
+    def voltage_sources(self) -> list[VoltageSource]:
+        return self.elements_of(VoltageSource)
+
+    @property
+    def ports(self) -> list[Port]:
+        """Ports in declaration order (the ordering of ``Z(s)``)."""
+        return list(self._ports)
+
+    @property
+    def port_names(self) -> list[str]:
+        return [p.name for p in self._ports]
+
+    @property
+    def nodes(self) -> list[str]:
+        """Non-datum node names in first-seen order."""
+        return list(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of non-datum nodes."""
+        return len(self._nodes)
+
+    def node_index(self) -> dict[str, int]:
+        """Deterministic mapping from non-datum node name to column index."""
+        return {node: i for i, node in enumerate(self._nodes)}
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def classify(self) -> str:
+        """Classify the passive part as ``"RC"``, ``"RL"``, ``"LC"``, ``"RLC"``,
+        ``"R"``, ``"L"``, ``"C"``, or ``"empty"``.
+
+        Sources and ports are ignored; only which of {R, L, C} element
+        classes are present matters.  This drives the choice of the
+        transformed positive-semi-definite formulations of paper
+        section 2.2.
+        """
+        has_r = bool(self.resistors)
+        has_l = bool(self.inductors)
+        has_c = bool(self.capacitors)
+        label = ("R" if has_r else "") + ("L" if has_l else "") + ("C" if has_c else "")
+        return label or "empty"
+
+    def stats(self) -> dict[str, int]:
+        """Element/node counts, used in experiment reporting."""
+        return {
+            "nodes": self.num_nodes,
+            "resistors": len(self.resistors),
+            "capacitors": len(self.capacitors),
+            "inductors": len(self.inductors),
+            "mutuals": len(self.mutuals),
+            "ports": len(self._ports),
+            "isources": len(self.current_sources),
+            "vsources": len(self.voltage_sources),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.stats()
+        return (
+            f"Netlist({self.title!r}, kind={self.classify()}, nodes={s['nodes']}, "
+            f"R={s['resistors']}, L={s['inductors']}, C={s['capacitors']}, "
+            f"K={s['mutuals']}, ports={s['ports']})"
+        )

@@ -1,0 +1,284 @@
+"""SPICE-subset netlist reader and writer.
+
+Supported card types (case-insensitive)::
+
+    * comment                        full-line comment ('*' or ';')
+    .TITLE some text                 optional title
+    Rname n1 n2 value                resistor
+    Cname n1 n2 value                capacitor
+    Lname n1 n2 value                inductor
+    Kname La Lb k                    mutual coupling coefficient, |k| < 1
+    Iname n1 n2 [value]              current source (default 0 A)
+    Vname n1 n2 [value]              voltage source (simulation only)
+    .PORT name plus [minus]          multi-port terminal declaration
+    .END                             optional terminator
+
+Engineering suffixes are accepted on values (``f p n u m k meg g t``),
+e.g. ``2.2k``, ``100n``, ``1MEG``.  :func:`write_netlist` emits text that
+:func:`parse_netlist` parses back to an equivalent netlist (round-trip
+tested).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.circuits.elements import GROUND
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistParseError
+
+__all__ = ["parse_netlist", "write_netlist", "parse_value", "format_value"]
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_VALUE_RE = re.compile(
+    r"^([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)([a-zA-Z]*)$"
+)
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE numeric token like ``2.2k`` or ``1e-12`` or ``3MEG``.
+
+    Trailing unit letters after a recognized suffix are ignored, as in
+    SPICE (``100nF`` == ``100n``).
+    """
+    match = _VALUE_RE.match(token.strip())
+    if not match:
+        raise NetlistParseError(f"cannot parse value {token!r}")
+    mantissa = float(match.group(1))
+    suffix = match.group(2).lower()
+    if not suffix:
+        return mantissa
+    if suffix.startswith("meg"):
+        return mantissa * _SUFFIXES["meg"]
+    scale = _SUFFIXES.get(suffix[0])
+    if scale is None:
+        raise NetlistParseError(f"unknown value suffix in {token!r}")
+    return mantissa * scale
+
+
+def format_value(value: float) -> str:
+    """Format a float compactly and round-trippably (plain exponent form)."""
+    return repr(float(value))
+
+
+#: recursion guard for nested subcircuit instantiation
+_MAX_SUBCKT_DEPTH = 24
+
+
+class _SubcktDef:
+    """A ``.SUBCKT`` definition: formal terminals + body lines."""
+
+    __slots__ = ("name", "terminals", "body")
+
+    def __init__(self, name: str, terminals: list[str]):
+        self.name = name
+        self.terminals = terminals
+        self.body: list[tuple[int, list[str]]] = []
+
+
+def _clean_lines(text: str):
+    """Yield (lineno, tokens) for non-comment, non-empty lines."""
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line or line.startswith("*"):
+            continue
+        yield lineno, line.split()
+
+
+def _emit_card(
+    net: Netlist,
+    tokens: list[str],
+    lineno: int,
+    subckts: dict[str, _SubcktDef],
+    prefix: str,
+    node_map: dict[str, str],
+    depth: int,
+) -> None:
+    """Add one card to ``net``, expanding ``X`` instances recursively.
+
+    ``prefix`` scopes element/node names inside subcircuit instances;
+    ``node_map`` maps a definition's formal terminals (and ground) to
+    the instantiating context's node names.
+    """
+    card = tokens[0].upper()
+
+    def node(name: str) -> str:
+        if name in node_map:
+            return node_map[name]
+        if name == GROUND:
+            return GROUND
+        return prefix + name
+
+    def element_name(name: str) -> str:
+        return prefix + name
+
+    if card[0] == "X":
+        if len(tokens) < 3:
+            raise NetlistParseError(
+                f"{tokens[0]}: expected 'Xname n1 ... subckt_name'"
+            )
+        if depth >= _MAX_SUBCKT_DEPTH:
+            raise NetlistParseError(
+                f"subcircuit nesting deeper than {_MAX_SUBCKT_DEPTH} "
+                "(recursive definition?)"
+            )
+        sub_name = tokens[-1]
+        definition = subckts.get(sub_name.upper())
+        if definition is None:
+            raise NetlistParseError(f"unknown subcircuit {sub_name!r}")
+        actuals = tokens[1:-1]
+        if len(actuals) != len(definition.terminals):
+            raise NetlistParseError(
+                f"{tokens[0]}: {sub_name} has {len(definition.terminals)} "
+                f"terminals, got {len(actuals)}"
+            )
+        inner_prefix = f"{prefix}{tokens[0]}."
+        inner_map = {
+            formal: node(actual)
+            for formal, actual in zip(definition.terminals, actuals)
+        }
+        for body_lineno, body_tokens in definition.body:
+            _emit_card(
+                net, body_tokens, body_lineno, subckts,
+                inner_prefix, inner_map, depth + 1,
+            )
+    elif card[0] in "RLC":
+        if len(tokens) != 4:
+            raise NetlistParseError(f"{tokens[0]}: expected 'name n1 n2 value'")
+        value = parse_value(tokens[3])
+        adder = {"R": net.resistor, "L": net.inductor, "C": net.capacitor}[card[0]]
+        adder(element_name(tokens[0]), node(tokens[1]), node(tokens[2]), value)
+    elif card[0] == "K":
+        if len(tokens) != 4:
+            raise NetlistParseError(f"{tokens[0]}: expected 'name La Lb k'")
+        net.mutual(
+            element_name(tokens[0]),
+            element_name(tokens[1]),
+            element_name(tokens[2]),
+            parse_value(tokens[3]),
+        )
+    elif card[0] in "IV":
+        if len(tokens) not in (3, 4):
+            raise NetlistParseError(f"{tokens[0]}: expected 'name n1 n2 [value]'")
+        value = parse_value(tokens[3]) if len(tokens) == 4 else 0.0
+        adder = {"I": net.isource, "V": net.vsource}[card[0]]
+        adder(element_name(tokens[0]), node(tokens[1]), node(tokens[2]), value)
+    else:
+        raise NetlistParseError(f"unknown card {tokens[0]!r}")
+
+
+def parse_netlist(text: str) -> Netlist:
+    """Parse SPICE-subset netlist ``text`` into a :class:`Netlist`.
+
+    Subcircuits (``.SUBCKT name t1 t2 ... / .ENDS``, instantiated with
+    ``Xinst n1 n2 ... name``) are flattened at parse time: internal
+    nodes and element names are scoped as ``Xinst.name``; instances may
+    nest (a subcircuit body may instantiate other subcircuits).
+
+    Raises
+    ------
+    NetlistParseError
+        With the offending 1-based line number.
+    """
+    net = Netlist()
+    subckts: dict[str, _SubcktDef] = {}
+    current_def: _SubcktDef | None = None
+    for lineno, tokens in _clean_lines(text):
+        card = tokens[0].upper()
+        try:
+            if card == ".SUBCKT":
+                if current_def is not None:
+                    raise NetlistParseError(
+                        ".SUBCKT definitions cannot nest textually"
+                    )
+                if len(tokens) < 3:
+                    raise NetlistParseError(
+                        ".SUBCKT needs: name terminal1 [terminal2 ...]"
+                    )
+                current_def = _SubcktDef(tokens[1], tokens[2:])
+                continue
+            if card == ".ENDS":
+                if current_def is None:
+                    raise NetlistParseError(".ENDS without .SUBCKT")
+                subckts[current_def.name.upper()] = current_def
+                current_def = None
+                continue
+            if current_def is not None:
+                if card in (".TITLE", ".END", ".PORT"):
+                    raise NetlistParseError(
+                        f"{tokens[0]} not allowed inside .SUBCKT"
+                    )
+                current_def.body.append((lineno, tokens))
+                continue
+            if card == ".TITLE":
+                net.title = " ".join(tokens[1:])
+            elif card == ".END":
+                break
+            elif card == ".PORT":
+                if len(tokens) not in (3, 4):
+                    raise NetlistParseError(".PORT needs: name plus [minus]")
+                minus = tokens[3] if len(tokens) == 4 else GROUND
+                net.port(tokens[1], tokens[2], minus)
+            elif card.startswith("."):
+                raise NetlistParseError(f"unsupported directive {tokens[0]!r}")
+            else:
+                _emit_card(net, tokens, lineno, subckts, "", {}, 0)
+        except NetlistParseError as exc:
+            if exc.line_number is None:
+                raise NetlistParseError(str(exc), lineno) from None
+            raise
+        except Exception as exc:  # element validation errors etc.
+            raise NetlistParseError(str(exc), lineno) from exc
+    if current_def is not None:
+        raise NetlistParseError(
+            f".SUBCKT {current_def.name} never closed with .ENDS"
+        )
+    return net
+
+
+def write_netlist(net: Netlist) -> str:
+    """Serialize ``net`` to SPICE-subset text (inverse of parse)."""
+    lines: list[str] = []
+    if net.title:
+        lines.append(f".TITLE {net.title}")
+    for element in net:
+        prefix = element.prefix
+        if prefix in ("R", "L", "C"):
+            lines.append(
+                f"{element.name} {element.node_pos} {element.node_neg} "
+                f"{format_value(element.value)}"
+            )
+        elif prefix == "K":
+            if not element.is_coefficient:
+                raise NetlistParseError(
+                    f"{element.name}: raw mutual inductances have no "
+                    "SPICE-subset card; use coupling coefficients"
+                )
+            lines.append(
+                f"{element.name} {element.inductor_a} {element.inductor_b} "
+                f"{format_value(element.coupling)}"
+            )
+        elif prefix in ("I", "V"):
+            lines.append(
+                f"{element.name} {element.node_pos} {element.node_neg} "
+                f"{format_value(element.value)}"
+            )
+        elif prefix == "P":
+            lines.append(
+                f".PORT {element.name} {element.node_pos} {element.node_neg}"
+            )
+        else:  # pragma: no cover - all element types handled above
+            raise NetlistParseError(f"cannot serialize element {element!r}")
+    lines.append(".END")
+    return "\n".join(lines) + "\n"

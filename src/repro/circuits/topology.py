@@ -1,0 +1,178 @@
+"""Incidence matrices and structural graph checks.
+
+Implements the adjacency-matrix formulation of paper section 2.1: each
+element class contributes a block ``A_x`` whose rows are branches and
+whose columns are the non-datum nodes (+1 at the source node, -1 at the
+destination node, ground column omitted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuits.elements import GROUND, TwoTerminal
+from repro.circuits.netlist import Netlist
+from repro.errors import TopologyError
+
+__all__ = ["IncidenceMatrices", "build_incidence", "connected_components", "check_grounded"]
+
+
+def _incidence_rows(
+    branches: list[TwoTerminal], node_index: dict[str, int]
+) -> sp.csr_matrix:
+    """Sparse incidence matrix for one element class (rows = branches)."""
+    n_branches = len(branches)
+    n_nodes = len(node_index)
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for k, branch in enumerate(branches):
+        if branch.node_pos != GROUND:
+            rows.append(k)
+            cols.append(node_index[branch.node_pos])
+            data.append(1.0)
+        if branch.node_neg != GROUND:
+            rows.append(k)
+            cols.append(node_index[branch.node_neg])
+            data.append(-1.0)
+    return sp.csr_matrix(
+        (data, (rows, cols)), shape=(n_branches, n_nodes), dtype=float
+    )
+
+
+@dataclass(frozen=True)
+class IncidenceMatrices:
+    """Per-element-class incidence matrices and branch value data.
+
+    Attributes
+    ----------
+    node_index:
+        Mapping from non-datum node name to column index.
+    a_g, a_c, a_l, a_p:
+        Incidence matrices for resistor, capacitor, inductor, and port
+        branches (``A_g``, ``A_c``, ``A_l``, ``A_i`` in the paper).
+    conductances, capacitances:
+        Diagonal entries of the branch matrices ``script-G`` and
+        ``script-C`` (eq. 2), one per branch, same row order as the
+        incidence matrices.
+    inductance:
+        The full branch inductance matrix ``script-L`` including mutual
+        couplings (symmetric, ``n_l x n_l``), stored sparse.
+    """
+
+    node_index: dict[str, int]
+    a_g: sp.csr_matrix
+    a_c: sp.csr_matrix
+    a_l: sp.csr_matrix
+    a_p: sp.csr_matrix
+    conductances: np.ndarray
+    capacitances: np.ndarray
+    inductance: sp.csr_matrix
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_index)
+
+
+def build_incidence(net: Netlist) -> IncidenceMatrices:
+    """Build all incidence matrices and branch value vectors for ``net``.
+
+    Raises
+    ------
+    TopologyError
+        If the netlist has no nodes or a mutual inductance references
+        inductors in an inconsistent way (guarded earlier by the
+        netlist, re-checked here).
+    """
+    node_index = net.node_index()
+    if not node_index:
+        raise TopologyError("netlist has no non-datum nodes")
+
+    resistors = net.resistors
+    capacitors = net.capacitors
+    inductors = net.inductors
+    ports = net.ports
+
+    conductances = np.array([r.conductance for r in resistors], dtype=float)
+    capacitances = np.array([c.value for c in capacitors], dtype=float)
+
+    ind_index = {ind.name: k for k, ind in enumerate(inductors)}
+    n_l = len(inductors)
+    lmat = sp.lil_matrix((n_l, n_l), dtype=float)
+    for k, ind in enumerate(inductors):
+        lmat[k, k] = ind.value
+    for m in net.mutuals:
+        i = ind_index[m.inductor_a]
+        j = ind_index[m.inductor_b]
+        if m.is_coefficient:
+            value = m.coupling * np.sqrt(
+                abs(inductors[i].value) * abs(inductors[j].value)
+            )
+        else:
+            value = m.coupling
+        lmat[i, j] += value
+        lmat[j, i] += value
+
+    # Port branches are directed + -> - so that a +1A injection into the
+    # "plus" terminal corresponds to a positive diagonal Z entry.
+    return IncidenceMatrices(
+        node_index=node_index,
+        a_g=_incidence_rows(resistors, node_index),
+        a_c=_incidence_rows(capacitors, node_index),
+        a_l=_incidence_rows(inductors, node_index),
+        a_p=_incidence_rows(list(ports), node_index),
+        conductances=conductances,
+        capacitances=capacitances,
+        inductance=lmat.tocsr(),
+    )
+
+
+def _as_graph(net: Netlist, *, include_sources: bool = True) -> nx.MultiGraph:
+    """Undirected multigraph over all nodes including ground."""
+    graph = nx.MultiGraph()
+    graph.add_node(GROUND)
+    for node in net.nodes:
+        graph.add_node(node)
+    for element in net:
+        nodes = element.nodes
+        if len(nodes) == 2:
+            prefix = element.prefix
+            if not include_sources and prefix in ("I", "V", "P"):
+                continue
+            graph.add_edge(nodes[0], nodes[1], name=element.name)
+    return graph
+
+
+def connected_components(net: Netlist) -> list[set[str]]:
+    """Connected components of the circuit graph (including ground)."""
+    return [set(c) for c in nx.connected_components(_as_graph(net))]
+
+
+def check_grounded(net: Netlist, *, through_passives_only: bool = False) -> None:
+    """Assert every node has a path to ground.
+
+    Parameters
+    ----------
+    through_passives_only:
+        When True, source and port branches do not count as connections
+        (a node touched only by a current source is still floating for
+        DC purposes).
+
+    Raises
+    ------
+    TopologyError
+        Listing (a sample of) the floating nodes.
+    """
+    graph = _as_graph(net, include_sources=not through_passives_only)
+    reachable = nx.node_connected_component(graph, GROUND)
+    floating = [n for n in net.nodes if n not in reachable]
+    if floating:
+        sample = ", ".join(floating[:8])
+        raise TopologyError(
+            f"{len(floating)} node(s) have no path to ground "
+            f"(e.g. {sample}); the circuit equations would be singular"
+        )

@@ -1,0 +1,84 @@
+"""Netlist validation helpers.
+
+These checks are deliberately separated from element construction so
+that synthesized (possibly negative-element) circuits remain
+representable while physical input circuits can be strictly validated
+before reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.topology import build_incidence, check_grounded
+from repro.errors import CircuitError, TopologyError
+
+__all__ = ["check_passive", "check_reducible", "validate_netlist"]
+
+
+def check_passive(net: Netlist) -> None:
+    """Assert all R/L/C values are positive and ``L`` is positive definite.
+
+    Positive element values plus a positive-definite branch inductance
+    matrix are what make the circuit *passive* and give the PSD matrix
+    structure of paper section 2.2.
+
+    Raises
+    ------
+    CircuitError
+        Naming the first offending element or the indefinite coupling.
+    """
+    for element in list(net.resistors) + list(net.capacitors) + list(net.inductors):
+        if element.value <= 0.0:
+            raise CircuitError(
+                f"{element.name}: non-positive value {element.value} "
+                "violates passivity"
+            )
+    if net.mutuals:
+        inductance = build_incidence(net).inductance.toarray()
+        eigenvalues = np.linalg.eigvalsh(inductance)
+        if eigenvalues.min() <= 0.0:
+            raise CircuitError(
+                "branch inductance matrix is not positive definite "
+                f"(min eigenvalue {eigenvalues.min():.3e}); "
+                "mutual couplings are too strong"
+            )
+
+
+def check_reducible(net: Netlist) -> None:
+    """Assert ``net`` is a valid input for the MOR drivers.
+
+    Requires at least one port, no voltage sources, and port terminals
+    on declared nodes.
+    """
+    if not net.ports:
+        raise CircuitError("netlist declares no ports")
+    if net.voltage_sources:
+        raise CircuitError(
+            "voltage sources present; the symmetric formulation allows "
+            "only current excitation (use Norton equivalents)"
+        )
+    attached: set[str] = {"0"}
+    for element in net:
+        if element.prefix != "P":
+            attached.update(element.nodes)
+    for port in net.ports:
+        for node in port.nodes:
+            if node not in attached:
+                raise TopologyError(
+                    f"port {port.name}: terminal {node!r} is not attached "
+                    "to any element"
+                )
+
+
+def validate_netlist(net: Netlist, *, require_passive: bool = True) -> None:
+    """Run the full pre-reduction validation suite.
+
+    Checks reducibility, connectivity to ground, and (optionally)
+    passivity.
+    """
+    check_reducible(net)
+    check_grounded(net)
+    if require_passive:
+        check_passive(net)

@@ -1,0 +1,178 @@
+"""Command-line front end: reduce a netlist from the shell.
+
+::
+
+    python -m repro reduce input.sp --order 20 --out reduced.sp \
+        --model model.npz --band 1e7 1e10
+
+    python -m repro info input.sp
+
+``reduce`` parses the SPICE-subset netlist, assembles the symmetric
+MNA system, runs SyMPVL, reports band accuracy against the exact
+response, and optionally writes a synthesized RC netlist (``--out``)
+and/or a serialized model (``--model``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.circuits import assemble_mna, parse_netlist, write_netlist
+from repro.circuits.validate import validate_netlist
+from repro.core import certify, sympvl
+from repro.errors import ReproError
+from repro.io import save_model
+from repro.simulation import ac_sweep, model_sweep
+from repro.synthesis import synthesize_rc
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SyMPVL matrix-Pade reduced-order modeling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="print netlist statistics")
+    info.add_argument("netlist", help="SPICE-subset netlist file")
+
+    reduce_cmd = sub.add_parser("reduce", help="reduce a netlist with SyMPVL")
+    reduce_cmd.add_argument("netlist", help="SPICE-subset netlist file")
+    reduce_cmd.add_argument("--order", type=int, required=True,
+                            help="reduced order n (>= port count)")
+    reduce_cmd.add_argument("--shift", default="auto",
+                            help="expansion point sigma0 (default: auto)")
+    reduce_cmd.add_argument("--band", nargs=2, type=float,
+                            metavar=("W_LO", "W_HI"),
+                            help="report accuracy over [w_lo, w_hi] rad/s")
+    reduce_cmd.add_argument("--points", type=int, default=40,
+                            help="frequency points for the accuracy report")
+    reduce_cmd.add_argument("--out", help="write synthesized RC netlist here")
+    reduce_cmd.add_argument("--model", help="write serialized model (.npz)")
+    reduce_cmd.add_argument("--prune-tol", type=float, default=0.0,
+                            help="relative pruning threshold for synthesis")
+    reduce_cmd.add_argument("--no-validate", action="store_true",
+                            help="skip the passivity/topology validation")
+
+    generate = sub.add_parser(
+        "generate", help="emit a synthetic benchmark circuit as a netlist"
+    )
+    generate.add_argument(
+        "kind",
+        choices=["rc-ladder", "rc-mesh", "rc-bus", "rlc-line", "package"],
+        help="which generator to run",
+    )
+    generate.add_argument("--size", type=int, default=0,
+                          help="primary size knob (sections/rows/wires/pins)")
+    generate.add_argument("--out", required=True, help="output netlist path")
+    return parser
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    with open(args.netlist) as handle:
+        net = parse_netlist(handle.read())
+    stats = net.stats()
+    table = Table(f"netlist {args.netlist}", ["quantity", "count"])
+    for key, value in stats.items():
+        table.row(key, value)
+    table.row("kind", net.classify())
+    table.print()
+    return 0
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    with open(args.netlist) as handle:
+        net = parse_netlist(handle.read())
+    if not args.no_validate:
+        validate_netlist(net)
+    system = assemble_mna(net)
+    shift = "auto" if args.shift == "auto" else float(args.shift)
+    model = sympvl(system, order=args.order, shift=shift)
+    print(
+        f"reduced {system.size} unknowns -> {model.order} states "
+        f"(ports: {model.num_ports}, sigma0 = {model.sigma0:.4g}, "
+        f"factorization: {model.factorization_method})"
+    )
+    cert = certify(model)
+    print(f"stable: {model.is_stable()}, certified stable+passive: "
+          f"{cert.certified}")
+
+    if args.band:
+        w_lo, w_hi = args.band
+        if not 0 < w_lo < w_hi:
+            raise ReproError("--band needs 0 < w_lo < w_hi")
+        s = 1j * np.logspace(np.log10(w_lo), np.log10(w_hi), args.points)
+        exact = ac_sweep(system, s)
+        reduced = model_sweep(model, s)
+        from repro.analysis import frequency_error
+
+        err = frequency_error(reduced, exact)
+        print(f"band accuracy over [{w_lo:.3g}, {w_hi:.3g}] rad/s: "
+              f"max rel {err['max_rel']:.3e}, RMS {err['rms_db']:.3e} dB")
+
+    if args.model:
+        save_model(model, args.model)
+        print(f"model written to {args.model}")
+    if args.out:
+        report = synthesize_rc(model, prune_tol=args.prune_tol)
+        with open(args.out, "w") as handle:
+            handle.write(write_netlist(report.netlist))
+        print(report.summary())
+        print(f"synthesized netlist written to {args.out}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.circuits import (
+        coupled_rc_bus,
+        package_model,
+        rc_ladder,
+        rc_mesh,
+        rlc_line,
+    )
+
+    size = args.size
+    if args.kind == "rc-ladder":
+        net = rc_ladder(size or 100, port_at_far_end=True)
+    elif args.kind == "rc-mesh":
+        n = size or 10
+        net = rc_mesh(n, n)
+    elif args.kind == "rc-bus":
+        net = coupled_rc_bus(size or 17, driver_resistance=100.0)
+    elif args.kind == "rlc-line":
+        net = rlc_line(size or 50)
+    else:  # package
+        net = package_model(n_pins=size or 64)
+    with open(args.out, "w") as handle:
+        handle.write(write_netlist(net))
+    stats = net.stats()
+    print(f"wrote {args.kind} ({stats['nodes']} nodes, "
+          f"{len(net)} elements) to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "info":
+            return _cmd_info(args)
+        if args.command == "reduce":
+            return _cmd_reduce(args)
+        if args.command == "generate":
+            return _cmd_generate(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - unreachable with required=True
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Core model-order-reduction algorithms (SyMPVL and baselines)."""
+
+from repro.core.adaptive import AdaptiveResult, sympvl_adaptive
+from repro.core.arnoldi import CongruenceModel, block_arnoldi_basis, prima
+from repro.core.awe import AWEModel, awe
+from repro.core.lanczos import (
+    DeflationEvent,
+    LanczosEngine,
+    LanczosOptions,
+    LanczosResult,
+    symmetric_block_lanczos,
+)
+from repro.core.model import ReducedOrderModel, StateSpace
+from repro.core.moments import exact_moments, moment_match_count
+from repro.core.mpvl import mpvl
+from repro.core.pact import pact
+from repro.core.passivity import (
+    Certification,
+    certify,
+    enforce_passivity,
+    positive_real_margin,
+    stabilize,
+)
+from repro.core.sympvl import default_shift, resolve_shift, sympvl
+from repro.core.sypvl import scalar_impedance, sypvl
+
+__all__ = [
+    "LanczosOptions",
+    "LanczosResult",
+    "LanczosEngine",
+    "DeflationEvent",
+    "symmetric_block_lanczos",
+    "ReducedOrderModel",
+    "StateSpace",
+    "exact_moments",
+    "moment_match_count",
+    "sympvl",
+    "sympvl_adaptive",
+    "AdaptiveResult",
+    "sypvl",
+    "scalar_impedance",
+    "default_shift",
+    "resolve_shift",
+    "awe",
+    "AWEModel",
+    "prima",
+    "CongruenceModel",
+    "block_arnoldi_basis",
+    "mpvl",
+    "pact",
+    "Certification",
+    "certify",
+    "positive_real_margin",
+    "stabilize",
+    "enforce_passivity",
+]

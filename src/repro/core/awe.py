@@ -1,0 +1,167 @@
+"""AWE-style explicit-moment Pade approximation (the unstable baseline).
+
+Asymptotic Waveform Evaluation (paper refs. [13, 14]) computes the same
+Pade approximant as PVL/SyPVL, but from explicitly generated moments: a
+Hankel system is solved for the denominator coefficients and the poles
+are the roots of that polynomial.  As the paper notes (section 3.1),
+this is "inherently numerically unstable ... only for very moderate
+values of n, such as n < 10" -- the ablation benchmark ABL1 reproduces
+exactly that breakdown against the Lanczos-based route.
+
+The implementation is scalar (per transfer-function entry); for a
+multi-port it approximates one chosen ``(i, j)`` entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.mna import MNASystem, TransferMap
+from repro.core.moments import exact_moments
+from repro.errors import ReductionError
+
+__all__ = ["AWEModel", "awe"]
+
+
+@dataclass
+class AWEModel:
+    """Scalar Pade approximant in pole-residue (Foster) form.
+
+    ``H_n(sigma0 + u) = const + sum_k residues[k] / (u - poles[k])``,
+    evaluated through the same :class:`TransferMap` convention as the
+    Lanczos models.
+    """
+
+    poles: np.ndarray
+    residues: np.ndarray
+    constant: float
+    sigma0: float
+    transfer: TransferMap
+    entry: tuple[int, int]
+    order: int
+    hankel_condition: float
+
+    def kernel(self, sigma: complex | np.ndarray) -> np.ndarray:
+        """Evaluate the scalar kernel at ``sigma`` (scalar or array)."""
+        sigma_arr = np.atleast_1d(np.asarray(sigma, dtype=complex))
+        u = sigma_arr - self.sigma0
+        out = np.full(u.shape, complex(self.constant))
+        for pole, residue in zip(self.poles, self.residues):
+            out = out + residue / (u - pole)
+        if np.isscalar(sigma) or np.asarray(sigma).ndim == 0:
+            return out[0]
+        return out
+
+    def impedance(self, s: complex | np.ndarray) -> np.ndarray:
+        """Physical impedance entry via the transfer map."""
+        value = self.kernel(self.transfer.sigma(np.asarray(s)))
+        return self.transfer.prefactor(np.asarray(s)) * value
+
+    def is_stable(self, tol: float = 1e-8) -> bool:
+        """All kernel poles map to the closed left half s-plane."""
+        sigma_poles = self.poles + self.sigma0
+        if self.transfer.sigma_power == 2:
+            s_poles = np.concatenate(
+                [np.sqrt(sigma_poles.astype(complex)),
+                 -np.sqrt(sigma_poles.astype(complex))]
+            )
+        else:
+            s_poles = sigma_poles
+        if s_poles.size == 0:
+            return True
+        scale = max(1.0, float(np.abs(s_poles).max()))
+        return bool(s_poles.real.max() <= tol * scale)
+
+
+def awe(
+    system: MNASystem,
+    order: int,
+    *,
+    sigma0: float = 0.0,
+    entry: tuple[int, int] = (0, 0),
+    moments: list[np.ndarray] | None = None,
+) -> AWEModel:
+    """Explicit-moment Pade approximant of one transfer-function entry.
+
+    Parameters
+    ----------
+    system:
+        Assembled MNA system.
+    order:
+        Number of poles ``n`` (matches ``2n`` moments).
+    sigma0:
+        Expansion point in the kernel variable.
+    entry:
+        Which ``(row, col)`` of the ``p x p`` transfer matrix to fit.
+    moments:
+        Precomputed exact moments (saves refactoring in sweeps).
+
+    Raises
+    ------
+    ReductionError
+        When the Hankel system is exactly singular.
+
+    Notes
+    -----
+    Kernel moments ``m_0 .. m_{2n-1}`` about ``sigma0`` define the Pade
+    form ``H(u) = P_{n-1}(u) / Q_n(u)``.  The denominator coefficients
+    solve the ``n x n`` Hankel system; its condition number (reported in
+    ``hankel_condition``) grows geometrically with ``n``, which is the
+    numerical-instability mechanism the Lanczos process avoids.
+    """
+    if order < 1:
+        raise ReductionError("AWE order must be >= 1")
+    if moments is None:
+        moments = exact_moments(system, 2 * order, sigma0)
+    if len(moments) < 2 * order:
+        raise ReductionError("not enough moments supplied")
+    i, j = entry
+    m = np.array([mk[i, j] for mk in moments], dtype=float)
+
+    # Hankel system for denominator q(u) = 1 + q_1 u + ... + q_n u^n:
+    # sum_{l=1..n} m_{k-l} q_l = -m_k  for k = n .. 2n-1
+    n = order
+    hankel = np.empty((n, n))
+    for row, k in enumerate(range(n, 2 * n)):
+        for col in range(1, n + 1):
+            hankel[row, col - 1] = m[k - col]
+    rhs = -m[n : 2 * n]
+    try:
+        q = np.linalg.solve(hankel, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise ReductionError(
+            f"singular Hankel system at AWE order {n}"
+        ) from exc
+    condition = float(np.linalg.cond(hankel))
+
+    # poles = roots of q(u); companion of u^n * (1 + q_1/u ... ) form
+    denominator = np.concatenate([q[::-1], [1.0]])  # ascending? see below
+    # q(u) = 1 + q_1 u + ... + q_n u^n ; np.roots expects descending powers
+    roots = np.roots(np.concatenate([q[::-1], [1.0]]))
+    del denominator
+
+    # residues from the first n moments: H(u) = sum r_k / (u - pole_k)
+    # with expansion sum_k r_k * (-1/pole_k) * sum_l (u/pole_k)^l
+    # => m_l = -sum_k r_k / pole_k^{l+1}
+    vander = np.empty((n, n), dtype=complex)
+    for l in range(n):
+        vander[l] = -1.0 / roots ** (l + 1)
+    try:
+        residues = np.linalg.solve(vander, m[:n].astype(complex))
+    except np.linalg.LinAlgError as exc:
+        raise ReductionError(
+            f"residue system singular at AWE order {n}"
+        ) from exc
+
+    return AWEModel(
+        poles=roots,
+        residues=residues,
+        constant=0.0,
+        sigma0=sigma0,
+        transfer=system.transfer,
+        entry=entry,
+        order=n,
+        hankel_condition=condition,
+    )

@@ -1,0 +1,532 @@
+"""Symmetric block-Lanczos process with deflation and look-ahead.
+
+This is Algorithm 1 of the paper, restructured around an explicit
+candidate queue (the auxiliary vectors ``v-hat``) and a cluster list
+(the look-ahead bookkeeping), which is mathematically equivalent to the
+paper's index gymnastics; DESIGN.md section 3 discusses the mapping.
+The defining properties are verified by the test-suite oracles:
+
+* cluster-wise ``J``-orthogonality, eq. (16): ``V^T J V = Delta`` is
+  block diagonal by clusters;
+* starting-block expansion, eq. (18): ``J^{-1} M^{-1} B = V rho``;
+* the projection identity ``T = Delta^{-1} V^T A V`` (third line of
+  eq. 18), returned explicitly;
+* the matrix-Pade moment-match property (14) of the resulting model.
+
+Deflation follows steps 1c-1g: a candidate whose norm falls below the
+deflation tolerance (relative to its norm at generation) is dropped and
+the current block size shrinks by one; *inexact* deflations (residual
+small but nonzero) are recorded, mirroring the set ``I_v``.  Look-ahead
+follows steps 2a-2d: while the ``J``-Gram matrix of the open cluster is
+(numerically) singular, the cluster keeps growing, and candidates are
+kept linearly independent with the Euclidean projections of step 1b;
+once the Gram matrix is regular the cluster closes and every pending
+candidate is ``J``-orthogonalized against it (step 2c).
+
+Two orthogonalization policies are offered.  ``"full"`` (default)
+re-orthogonalizes new candidates against *all* closed clusters, twice —
+a standard robustness enhancement over the paper's windowed recurrence.
+``"local"`` keeps only the paper's short window (the clusters spanning
+the last ``p_c + 1`` vectors, plus the inexact-deflation clusters of
+step 3c), which exhibits the banded ``T`` structure the paper
+emphasizes at the cost of gradual orthogonality loss.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BreakdownError
+from repro.linalg.operators import LanczosOperator
+
+__all__ = [
+    "LanczosOptions",
+    "DeflationEvent",
+    "LanczosResult",
+    "LanczosEngine",
+    "symmetric_block_lanczos",
+]
+
+
+@dataclass(frozen=True)
+class LanczosOptions:
+    """Tuning knobs of the Lanczos process.
+
+    Attributes
+    ----------
+    deflation_tol:
+        Candidate is deflated when its norm after orthogonalization drops
+        below ``deflation_tol`` times its norm at generation (``dtol`` of
+        step 1c).
+    exact_deflation_tol:
+        Below this relative norm a deflation counts as *exact* (the
+        residual carries no information; no ``I_v`` entry is recorded).
+    cluster_tol:
+        The open cluster closes when the smallest eigenvalue magnitude of
+        its ``J``-Gram matrix exceeds ``cluster_tol`` times its scale
+        (the regularity test of step 2b).
+    max_cluster:
+        Hard cap on look-ahead cluster size; reaching it forces a close
+        with a pseudo-inverse (with a warning) instead of running away.
+    reorthogonalize:
+        ``"full"`` (robust, default) or ``"local"`` (the paper's banded
+        recurrence window).
+    """
+
+    deflation_tol: float = 1.0e-10
+    exact_deflation_tol: float = 1.0e-14
+    cluster_tol: float = 1.0e-8
+    max_cluster: int = 8
+    reorthogonalize: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.reorthogonalize not in ("full", "local"):
+            raise ValueError(
+                f"reorthogonalize must be 'full' or 'local', "
+                f"got {self.reorthogonalize!r}"
+            )
+        if not 0.0 <= self.exact_deflation_tol <= self.deflation_tol < 1.0:
+            raise ValueError("need 0 <= exact_deflation_tol <= deflation_tol < 1")
+        if self.max_cluster < 1:
+            raise ValueError("max_cluster must be >= 1")
+
+
+@dataclass(frozen=True)
+class DeflationEvent:
+    """One deflation (step 1c-1f).
+
+    ``step`` is the number of Lanczos vectors built when it happened;
+    ``source`` identifies the deflated candidate: ``("b", j)`` for
+    column ``j`` of the starting block, ``("av", m)`` for the candidate
+    generated from Lanczos vector ``m`` (0-based).  ``exact`` mirrors
+    the distinction of step 1e.
+    """
+
+    step: int
+    source: tuple[str, int]
+    residual_norm: float
+    exact: bool
+
+
+@dataclass
+class LanczosResult:
+    """Output of :func:`symmetric_block_lanczos`.
+
+    Attributes
+    ----------
+    v:
+        ``N x n`` matrix of Lanczos vectors (unit Euclidean norm).
+    t:
+        ``n x n`` projection ``Delta^{-1} V^T A V`` (eq. 18), computed
+        explicitly after the iteration.
+    t_recurrence:
+        The same matrix assembled from the recurrence coefficients; in
+        ``"local"`` mode this is banded as in the paper.
+    delta:
+        ``n x n`` block-diagonal ``V^T J V`` (identity when ``J = I``).
+    rho:
+        ``n x p`` expansion of the starting block: ``J^{-1}M^{-1}B = V rho``
+        up to deflated residuals; only the first ``p1`` rows are nonzero.
+    p1:
+        ``p`` minus the number of deflations among the initial block.
+    deflations:
+        All deflation events in order.
+    clusters:
+        0-based Lanczos-vector indices per look-ahead cluster.
+    exhausted:
+        True when the candidate queue emptied (the Krylov space is
+        exhausted and the model is exact: step 1d).
+    breakdown_truncated:
+        Number of trailing Lanczos vectors dropped because they formed
+        an unclosed look-ahead cluster with a (numerically) singular
+        ``J``-Gram matrix at termination -- the *incurable* breakdown
+        case look-ahead cannot repair (the cluster can never be
+        completed).  Zero in the definite (``J = I``) classes.
+    """
+
+    v: np.ndarray
+    t: np.ndarray
+    t_recurrence: np.ndarray
+    delta: np.ndarray
+    rho: np.ndarray
+    p1: int
+    deflations: list[DeflationEvent]
+    clusters: list[list[int]]
+    exhausted: bool
+    breakdown_truncated: int = 0
+
+    @property
+    def order(self) -> int:
+        return self.v.shape[1]
+
+    @property
+    def used_lookahead(self) -> bool:
+        return any(len(c) > 1 for c in self.clusters)
+
+
+class _Candidate:
+    """An auxiliary vector ``v-hat`` waiting to become a Lanczos vector."""
+
+    __slots__ = ("vec", "source", "gen_norm")
+
+    def __init__(self, vec: np.ndarray, source: tuple[str, int]):
+        self.vec = vec
+        self.source = source
+        self.gen_norm = float(np.linalg.norm(vec))
+
+
+class _Cluster:
+    """A look-ahead cluster: indices, basis slice, and its J-Gram data."""
+
+    __slots__ = ("indices", "w", "jw", "delta", "delta_inv")
+
+    def __init__(self) -> None:
+        self.indices: list[int] = []
+        self.w: np.ndarray | None = None
+        self.jw: np.ndarray | None = None
+        self.delta: np.ndarray | None = None
+        self.delta_inv: np.ndarray | None = None
+
+
+class LanczosEngine:
+    """Resumable symmetric block-Lanczos process (paper Algorithm 1).
+
+    Holds the full iteration state (Lanczos vectors, candidate queue,
+    look-ahead clusters, coefficient books) so the order can be grown
+    incrementally: ``extend(n1)`` then ``extend(n2 > n1)`` performs only
+    the additional steps -- this is what makes the adaptive driver pay
+    one factorization and one Krylov sweep total.  ``result()`` is
+    non-destructive and can be called after every extension.
+
+    The raw operator applications ``K v_m`` are cached at candidate
+    generation, so finalizing ``T = Delta^{-1} V^T J K V`` costs no
+    extra large-system work.
+    """
+
+    def __init__(
+        self,
+        operator: LanczosOperator,
+        options: LanczosOptions | None = None,
+    ):
+        self._op = operator
+        self._opts = options or LanczosOptions()
+        start = operator.start_block()
+        if np.linalg.norm(start) == 0.0:
+            raise BreakdownError("starting block J^{-1} M^{-1} B is zero")
+        self._p = operator.num_inputs
+        self._n_full = operator.size
+        self._vectors: list[np.ndarray] = []
+        self._kv: dict[int, np.ndarray] = {}
+        self._t_coeffs: dict[tuple[int, int], float] = {}
+        self._rho_coeffs: dict[tuple[int, int], float] = {}
+        self._deflations: list[DeflationEvent] = []
+        self._inexact_clusters: set[int] = set()
+        self._clusters: list[_Cluster] = [_Cluster()]
+        self._queue: deque[_Candidate] = deque(
+            _Candidate(np.array(start[:, j], dtype=float), ("b", j))
+            for j in range(self._p)
+        )
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """Number of Lanczos vectors built so far."""
+        return len(self._vectors)
+
+    @property
+    def exhausted(self) -> bool:
+        """Krylov space fully spanned: no candidates left or ``n = N``."""
+        return not self._queue or len(self._vectors) >= self._n_full
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers
+    # ------------------------------------------------------------------
+    def _record(self, row: int, source: tuple[str, int], value: float) -> None:
+        kind, col = source
+        book = self._rho_coeffs if kind == "b" else self._t_coeffs
+        key = (row, col)
+        book[key] = book.get(key, 0.0) + value
+
+    def _orthogonalize_closed(
+        self, cand: _Candidate, cluster_ids: list[int]
+    ) -> None:
+        """``J``-orthogonalize a candidate against closed clusters."""
+        for cid in cluster_ids:
+            cluster = self._clusters[cid]
+            coeffs = cluster.delta_inv @ (cluster.jw.T @ cand.vec)
+            cand.vec -= cluster.w @ coeffs
+            for row, coeff in zip(cluster.indices, coeffs):
+                self._record(row, cand.source, float(coeff))
+
+    def _closed_cluster_ids(self) -> list[int]:
+        return [
+            cid
+            for cid, c in enumerate(self._clusters[:-1])
+            if c.delta is not None
+        ]
+
+    def _local_window_ids(self, generated_from: int, p_c: int) -> list[int]:
+        """Closed-cluster ids of the paper's short recurrence window.
+
+        Covers the clusters containing vectors ``generated_from - p_c``
+        through the present (the range gamma_v .. gamma-1 of step 3b),
+        plus the inexact-deflation clusters of step 3c.
+        """
+        low = max(0, generated_from - p_c - self._opts.max_cluster)
+        ids = {
+            cid
+            for cid, cl in enumerate(self._clusters[:-1])
+            if cl.indices and cl.indices[-1] >= low
+        }
+        ids.update(
+            cid
+            for cid in self._inexact_clusters
+            if self._clusters[cid].delta is not None
+        )
+        return sorted(ids)
+
+    def _cluster_of(self, vector_index: int) -> int:
+        for cid, cluster in enumerate(self._clusters):
+            if vector_index in cluster.indices:
+                return cid
+        return len(self._clusters) - 1  # pragma: no cover - defensive
+
+    def _close_cluster(self) -> None:
+        """Steps 2c-2d: freeze the open cluster, fix pending candidates."""
+        cluster = self._clusters[-1]
+        w = np.column_stack([self._vectors[i] for i in cluster.indices])
+        jw = self._op.j_product(w)
+        delta = w.T @ jw
+        delta = 0.5 * (delta + delta.T)
+        try:
+            delta_inv = np.linalg.inv(delta)
+        except np.linalg.LinAlgError:
+            delta_inv = np.linalg.pinv(delta)
+        cluster.w, cluster.jw = w, jw
+        cluster.delta, cluster.delta_inv = delta, delta_inv
+        cid = len(self._clusters) - 1
+        for cand in self._queue:
+            self._orthogonalize_closed(cand, [cid])
+        self._clusters.append(_Cluster())
+
+    def _open_cluster_regular(self) -> bool:
+        """Step 2b regularity test on the open cluster's J-Gram matrix."""
+        cluster = self._clusters[-1]
+        w = np.column_stack([self._vectors[i] for i in cluster.indices])
+        delta = w.T @ self._op.j_product(w)
+        delta = 0.5 * (delta + delta.T)
+        scale = max(1.0, float(np.abs(delta).max()))
+        smallest = float(np.abs(np.linalg.eigvalsh(delta)).min())
+        return smallest > self._opts.cluster_tol * scale
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def extend(self, order: int) -> int:
+        """Grow the basis to (at least) ``order`` vectors.
+
+        Returns the actual order reached: smaller on exhaustion, and
+        possibly *larger* when the requested order lands inside an
+        incomplete look-ahead cluster -- the iteration then continues
+        until the cluster's ``J``-Gram matrix becomes regular (the
+        cluster closes), because a model cannot be assembled across an
+        open singular cluster (paper step 2b).
+        """
+        order = min(order, self._n_full)
+        if order < 1:
+            raise BreakdownError("requested order must be >= 1")
+        self._run_to(order)
+        # complete a dangling look-ahead cluster if one is open
+        while (
+            self._clusters[-1].indices
+            and self._queue
+            and not self._open_cluster_regular()
+        ):
+            self._run_to(len(self._vectors) + 1)
+        return len(self._vectors)
+
+    def _run_to(self, order: int) -> None:
+        opts = self._opts
+        while len(self._vectors) < order and self._queue:
+            cand = self._queue.popleft()
+
+            # step 1b: Euclidean projection against the open cluster,
+            # plus a second full pass over closed clusters in "full" mode
+            passes = 2 if opts.reorthogonalize == "full" else 1
+            for _ in range(passes):
+                if opts.reorthogonalize == "full":
+                    self._orthogonalize_closed(
+                        cand, self._closed_cluster_ids()
+                    )
+                for i in self._clusters[-1].indices:
+                    tau = float(self._vectors[i] @ cand.vec)
+                    cand.vec -= tau * self._vectors[i]
+                    self._record(i, cand.source, tau)
+
+            norm = float(np.linalg.norm(cand.vec))
+            reference = max(cand.gen_norm, 1e-300)
+            if norm <= opts.deflation_tol * reference:
+                exact = norm <= opts.exact_deflation_tol * reference
+                self._deflations.append(
+                    DeflationEvent(len(self._vectors), cand.source, norm, exact)
+                )
+                if not exact and cand.source[0] == "av":
+                    self._inexact_clusters.add(self._cluster_of(cand.source[1]))
+                continue
+
+            # step 1h: normalize and append
+            n_idx = len(self._vectors)
+            self._vectors.append(cand.vec / norm)
+            self._record(n_idx, cand.source, norm)
+            self._clusters[-1].indices.append(n_idx)
+
+            # step 2: close the cluster if its J-Gram matrix is regular
+            if self._open_cluster_regular():
+                self._close_cluster()
+            elif len(self._clusters[-1].indices) >= opts.max_cluster:
+                warnings.warn(
+                    f"look-ahead cluster reached max size {opts.max_cluster};"
+                    " closing with a pseudo-inverse",
+                    stacklevel=2,
+                )
+                self._close_cluster()
+
+            # step 3: generate the successor candidate K v_n (always, so
+            # the engine can resume seamlessly; the raw product is cached
+            # for the finalization projection)
+            raw = self._op.apply(self._vectors[n_idx])
+            self._kv[n_idx] = np.array(raw, dtype=float)
+            new = _Candidate(np.array(raw, dtype=float), ("av", n_idx))
+            p_c_now = len(self._queue) + 1
+            if opts.reorthogonalize == "full":
+                closed_ids = self._closed_cluster_ids()
+            else:
+                closed_ids = self._local_window_ids(n_idx, p_c_now)
+            self._orthogonalize_closed(new, closed_ids)
+            self._queue.append(new)
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def result(self) -> LanczosResult:
+        """Assemble the (non-destructive) result at the current order."""
+        n = len(self._vectors)
+        if n == 0:
+            raise BreakdownError(
+                "all starting-block columns were deflated; "
+                "the input matrix B is (numerically) zero"
+            )
+
+        # Incurable breakdown at termination: if the still-open cluster's
+        # J-Gram matrix is singular AND the space is exhausted, the
+        # cluster can never close; its vectors cannot enter the oblique
+        # projection and must be dropped (they would make Delta singular).
+        truncated = 0
+        open_cluster = self._clusters[-1]
+        if open_cluster.indices and self.exhausted:
+            w = np.column_stack(
+                [self._vectors[i] for i in open_cluster.indices]
+            )
+            block = w.T @ self._op.j_product(w)
+            block = 0.5 * (block + block.T)
+            scale = max(1.0, float(np.abs(block).max()))
+            smallest = float(np.abs(np.linalg.eigvalsh(block)).min())
+            if smallest <= self._opts.cluster_tol * scale:
+                truncated = len(open_cluster.indices)
+                n -= truncated
+                if n == 0:
+                    raise BreakdownError(
+                        "incurable look-ahead breakdown consumed every "
+                        "Lanczos vector"
+                    )
+        v = np.column_stack(self._vectors[:n])
+
+        # Delta: block-diagonal cluster Gram matrices (open cluster too)
+        delta_full = np.zeros((n, n))
+        cluster_indices: list[list[int]] = []
+        for cluster in self._clusters:
+            indices = [i for i in cluster.indices if i < n]
+            if not indices:
+                continue
+            cluster_indices.append(indices)
+            idx = np.array(indices)
+            if cluster.delta is not None and len(indices) == len(
+                cluster.indices
+            ):
+                block = cluster.delta
+            else:
+                w = v[:, idx]
+                block = w.T @ self._op.j_product(w)
+                block = 0.5 * (block + block.T)
+            delta_full[np.ix_(idx, idx)] = block
+
+        rho = np.zeros((n, self._p))
+        for (row, col), value in self._rho_coeffs.items():
+            if row < n:
+                rho[row, col] = value
+        t_rec = np.zeros((n, n))
+        for (row, col), value in self._t_coeffs.items():
+            if row < n and col < n:
+                t_rec[row, col] = value
+
+        # explicit projection T = Delta^{-1} V^T J K V (cached products)
+        kv = np.column_stack([self._kv[m] for m in range(n)])
+        vt_j_kv = v.T @ self._op.j_product(kv)
+        try:
+            t_explicit = np.linalg.solve(delta_full, vt_j_kv)
+        except np.linalg.LinAlgError:
+            t_explicit = np.linalg.pinv(delta_full) @ vt_j_kv
+
+        p1 = self._p - sum(
+            1 for d in self._deflations if d.source[0] == "b"
+        )
+        return LanczosResult(
+            v=v,
+            t=t_explicit,
+            t_recurrence=t_rec,
+            delta=delta_full,
+            rho=rho,
+            p1=p1,
+            deflations=list(self._deflations),
+            clusters=cluster_indices,
+            exhausted=self.exhausted,
+            breakdown_truncated=truncated,
+        )
+
+
+def symmetric_block_lanczos(
+    operator: LanczosOperator,
+    order: int,
+    options: LanczosOptions | None = None,
+) -> LanczosResult:
+    """Run the symmetric block-Lanczos process (paper Algorithm 1).
+
+    One-shot front end over :class:`LanczosEngine`.
+
+    Parameters
+    ----------
+    operator:
+        Matrix-free products with ``K = J^{-1} M^{-1} C M^{-T}`` and the
+        starting block ``J^{-1} M^{-1} B``.
+    order:
+        Requested number of Lanczos vectors ``n``.  Fewer are returned
+        when the Krylov space exhausts first (``exhausted`` flag).
+    options:
+        :class:`LanczosOptions`; defaults are suitable for double
+        precision.
+
+    Raises
+    ------
+    BreakdownError
+        Only if the starting block itself is identically zero (or every
+        column of it deflates).
+    """
+    engine = LanczosEngine(operator, options)
+    engine.extend(order)
+    return engine.result()

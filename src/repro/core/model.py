@@ -1,0 +1,307 @@
+"""The reduced-order model object produced by the MOR drivers.
+
+Wraps the triple ``(T_n, Delta_n, rho_n)`` of eq. (19),
+
+``Z_n(sigma) = rho^T Delta (I + (sigma - sigma0) T)^{-1} rho``
+
+(the shifted form of eq. 26), together with the :class:`TransferMap`
+that relates the kernel variable ``sigma`` to physical frequency ``s``
+(``sigma = s`` for RC/RL/RLC, ``sigma = s**2`` for LC circuits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg
+
+from repro.circuits.mna import TransferMap
+from repro.errors import ReductionError
+
+__all__ = ["ReducedOrderModel", "StateSpace"]
+
+
+@dataclass(frozen=True)
+class StateSpace:
+    """Time-domain realization of eq. (23).
+
+    ``Gr x(t) + Cr dx/dt = Br i(t)``, ``v(t) = Lr^T x(t) + D i(t)``,
+    where for the unshifted model ``Gr = Delta^{-1}``,
+    ``Cr = T Delta^{-1}``, ``Br = Lr = rho``, and ``D`` is the optional
+    direct feed-through (zero for plain SyMPVL models; nonzero after
+    resistive passivity enforcement).
+    """
+
+    gr: np.ndarray
+    cr: np.ndarray
+    br: np.ndarray
+    lr: np.ndarray
+    d: np.ndarray | None = None
+
+    @property
+    def order(self) -> int:
+        return self.gr.shape[0]
+
+
+@dataclass
+class ReducedOrderModel:
+    """Matrix-Pade reduced-order model of a multi-port impedance.
+
+    Attributes
+    ----------
+    t, delta, rho:
+        The Lanczos output matrices of eq. (19) (``n x n``, ``n x n``
+        block diagonal, ``n x p``).
+    sigma0:
+        Expansion point in the kernel variable (eq. 26 shift).
+    transfer:
+        Physical-frequency mapping (see :class:`TransferMap`).
+    port_names:
+        Impedance-matrix ordering.
+    source_size:
+        Dimension ``N`` of the original system (for reduction-ratio
+        reporting).
+    guaranteed_stable_passive:
+        True when the reduction ran on a PSD pencil with ``J = I`` --
+        exactly the hypothesis of the paper's section 5 theorems.
+    """
+
+    t: np.ndarray
+    delta: np.ndarray
+    rho: np.ndarray
+    sigma0: float
+    transfer: TransferMap
+    port_names: list[str]
+    source_size: int
+    guaranteed_stable_passive: bool = False
+    factorization_method: str = ""
+    metadata: dict = field(default_factory=dict)
+    #: optional direct (frequency-independent) kernel term, e.g. the
+    #: resistive padding added by passivity enforcement
+    direct: np.ndarray | None = None
+    #: optional non-symmetric output map (``n x p``); when set,
+    #: ``Z = output^T (I + uT)^{-1} rho`` instead of the symmetric
+    #: ``rho^T Delta (...) rho`` -- used by MPVL and modal post-processing
+    output: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.t = np.asarray(self.t, dtype=float)
+        self.delta = np.asarray(self.delta, dtype=float)
+        self.rho = np.asarray(self.rho, dtype=float)
+        n = self.t.shape[0]
+        if self.t.shape != (n, n) or self.delta.shape != (n, n):
+            raise ReductionError("T and Delta must be square and same size")
+        if self.rho.shape[0] != n:
+            raise ReductionError("rho must have one row per state")
+        if self.direct is not None:
+            self.direct = np.asarray(self.direct, dtype=float)
+            p = self.rho.shape[1]
+            if self.direct.shape != (p, p):
+                raise ReductionError("direct term must be p x p")
+        if self.output is not None:
+            self.output = np.asarray(self.output, dtype=float)
+            if self.output.shape != self.rho.shape:
+                raise ReductionError("output map must have rho's shape")
+            self._rho_t_delta = self.output.T
+        else:
+            self._rho_t_delta = self.rho.T @ self.delta
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """Reduced order ``n``."""
+        return self.t.shape[0]
+
+    @property
+    def num_ports(self) -> int:
+        return self.rho.shape[1]
+
+    @property
+    def reduction_ratio(self) -> float:
+        """``N / n``: how much smaller the model is than the circuit."""
+        return self.source_size / max(self.order, 1)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def kernel(self, sigma: complex | np.ndarray) -> np.ndarray:
+        """Evaluate ``H_n(sigma) = rho^T Delta (I + u T)^{-1} rho`` with
+        ``u = sigma - sigma0``.
+
+        Returns a ``p x p`` array for scalar input, ``(m, p, p)`` for an
+        array of ``m`` points.
+        """
+        sigma_arr = np.atleast_1d(np.asarray(sigma))
+        n = self.order
+        p = self.num_ports
+        eye = np.eye(n)
+        out = np.empty((sigma_arr.size, p, p), dtype=complex)
+        for k, sig in enumerate(sigma_arr.ravel()):
+            u = sig - self.sigma0
+            solved = np.linalg.solve(eye + u * self.t, self.rho)
+            out[k] = self._rho_t_delta @ solved
+        if self.direct is not None:
+            out = out + self.direct
+        if np.isscalar(sigma) or np.asarray(sigma).ndim == 0:
+            return out[0]
+        return out
+
+    def impedance(self, s: complex | np.ndarray) -> np.ndarray:
+        """Physical impedance ``Z_n(s)`` including the transfer mapping.
+
+        For LC circuits this evaluates
+        ``s * H_n(s**2)`` (paper section 7.1); for RL, ``s * H_n(s)``.
+        """
+        scalar = np.isscalar(s) or np.asarray(s).ndim == 0
+        s_arr = np.atleast_1d(np.asarray(s))
+        kernel = self.kernel(self.transfer.sigma(s_arr))
+        pref = np.atleast_1d(np.asarray(self.transfer.prefactor(s_arr)))
+        if pref.size == 1:
+            pref = np.full(s_arr.size, pref.ravel()[0])
+        out = kernel * pref[:, None, None]
+        return out[0] if scalar else out
+
+    def __call__(self, s: complex | np.ndarray) -> np.ndarray:
+        return self.impedance(s)
+
+    # ------------------------------------------------------------------
+    # spectral structure
+    # ------------------------------------------------------------------
+    def kernel_poles(self) -> np.ndarray:
+        """Poles in the kernel variable: ``sigma = sigma0 - 1/lambda``
+        for each nonzero eigenvalue ``lambda`` of ``T`` (section 5).
+
+        Eigenvalues negligible relative to ``||T||`` are zero up to
+        roundoff; their modes are frequency-independent (no pole) and
+        are excluded rather than mapped to spurious near-infinite poles.
+        """
+        eigenvalues = scipy.linalg.eigvals(self.t)
+        scale = float(np.abs(eigenvalues).max()) if eigenvalues.size else 0.0
+        nonzero = eigenvalues[np.abs(eigenvalues) > max(1e-12 * scale, 1e-300)]
+        return self.sigma0 - 1.0 / nonzero
+
+    def poles(self) -> np.ndarray:
+        """Poles mapped to the physical ``s`` plane.
+
+        For ``sigma = s**2`` (LC circuits) each kernel pole ``sigma_k``
+        yields the conjugate pair ``+/- sqrt(sigma_k)``.
+        """
+        kernel_poles = self.kernel_poles()
+        if self.transfer.sigma_power == 1:
+            return kernel_poles
+        roots = np.sqrt(kernel_poles.astype(complex))
+        return np.concatenate([roots, -roots])
+
+    def residues(self) -> list[tuple[complex, np.ndarray]]:
+        """Matrix Foster form: ``Z_n(sigma) = sum_k R_k / (1 + u lam_k)``.
+
+        Returns ``(lambda_k, R_k)`` pairs from the eigendecomposition of
+        ``T`` in the model's output metric; each residue ``R_k`` is the
+        rank-one ``p x p`` matrix ``c_k L_k``.  Kernel poles follow as
+        ``sigma0 - 1/lambda_k`` (see :meth:`kernel_poles`).  For
+        symmetric (SyMPVL) models the residues are symmetric PSD
+        whenever the section-5 guarantee holds.
+        """
+        eigenvalues, vectors = np.linalg.eig(self.t)
+        c_rows = (self._rho_t_delta @ vectors).T
+        l_rows = np.linalg.solve(vectors, self.rho)
+        return [
+            (eigenvalues[k], np.outer(c_rows[k], l_rows[k]))
+            for k in range(eigenvalues.size)
+        ]
+
+    def moments(self, count: int) -> list[np.ndarray]:
+        """Taylor coefficients of the kernel about ``sigma0``:
+        ``H_n(sigma0 + u) = sum_k M_k u^k`` with
+        ``M_k = rho^T Delta (-T)^k rho``."""
+        out: list[np.ndarray] = []
+        power = self.rho.copy()
+        for k in range(count):
+            moment = self._rho_t_delta @ power
+            if k == 0 and self.direct is not None:
+                moment = moment + self.direct
+            out.append(moment)
+            power = -self.t @ power
+        return out
+
+    # ------------------------------------------------------------------
+    # properties of the model
+    # ------------------------------------------------------------------
+    def is_stable(self, tol: float = 1e-8) -> bool:
+        """All physical poles in the closed left half plane (section 5.1).
+
+        The tolerance is relative to the model's frequency scale (pole
+        magnitudes and the expansion point): a pole computed at
+        ``+1e-6`` rad/s on a model expanded at ``1e9`` rad/s is a pole
+        at the origin up to roundoff (the paper's allowed simple pole
+        at ``s = 0``), not an instability.
+        """
+        poles = self.poles()
+        if poles.size == 0:
+            return True
+        sigma0_scale = abs(self.sigma0)
+        if self.transfer.sigma_power == 2:
+            sigma0_scale = float(np.sqrt(sigma0_scale))
+        scale = max(1.0, float(np.abs(poles).max()), sigma0_scale)
+        return bool(poles.real.max() <= tol * scale)
+
+    def passivity_margin(self, s_samples: np.ndarray) -> float:
+        """Smallest eigenvalue of the Hermitian part of ``Z_n(s)`` over
+        the given right-half-plane / imaginary-axis samples.
+
+        A non-negative margin on a dense ``j omega`` grid is the
+        numerical counterpart of condition (iii) of section 5.2.
+        """
+        z = self.impedance(np.asarray(s_samples))
+        margin = np.inf
+        for zk in z:
+            hermitian = 0.5 * (zk + zk.conj().T)
+            margin = min(margin, float(np.linalg.eigvalsh(hermitian).min()))
+        return margin
+
+    def is_passive(self, s_samples: np.ndarray, tol: float = 1e-9) -> bool:
+        """Sampled positive-real test (see :meth:`passivity_margin`)."""
+        z_scale = max(
+            1.0, float(np.abs(self.impedance(np.asarray(s_samples))).max())
+        )
+        return self.passivity_margin(s_samples) >= -tol * z_scale
+
+    # ------------------------------------------------------------------
+    # realizations
+    # ------------------------------------------------------------------
+    def to_state_space(self) -> StateSpace:
+        """Time-domain realization, eq. (23).
+
+        Only meaningful for ``sigma = s`` models (RC/RL/RLC); for LC
+        models the kernel variable is ``s**2`` and a first-order
+        realization of the kernel does not directly integrate in time.
+
+        With a nonzero shift the conductance part becomes
+        ``Gr = Delta^{-1} - sigma0 T Delta^{-1}`` so that
+        ``Gr + sigma Cr = Delta^{-1} + (sigma - sigma0) T Delta^{-1}``.
+        """
+        if self.transfer.sigma_power != 1:
+            raise ReductionError(
+                "state-space realization requires sigma = s (not LC form)"
+            )
+        delta_inv = np.linalg.inv(self.delta)
+        cr = self.t @ delta_inv
+        gr = delta_inv - self.sigma0 * cr
+        lr = self.output.copy() if self.output is not None else self.rho.copy()
+        return StateSpace(
+            gr=gr,
+            cr=cr,
+            br=self.rho.copy(),
+            lr=lr,
+            d=None if self.direct is None else self.direct.copy(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ReducedOrderModel(order={self.order}, ports={self.num_ports}, "
+            f"N={self.source_size}, sigma0={self.sigma0:.3e}, "
+            f"guaranteed={self.guaranteed_stable_passive})"
+        )

@@ -1,0 +1,138 @@
+"""MPVL baseline: general (two-sided) block-Lanczos matrix-Pade reduction.
+
+MPVL (paper ref. [6]) is the predecessor algorithm SyMPVL specializes:
+it applies to *any* linear system via a two-sided (bi-orthogonal) block
+Lanczos process, maintaining separate left and right vector sequences.
+For the symmetric matrices of RLC circuits the two sequences coincide
+up to the ``J`` metric, which is exactly the redundancy SyMPVL removes
+(half the memory and matrix products).  This implementation keeps the
+two sequences explicitly, so the cross-validation tests can confirm
+that MPVL and SyMPVL produce the same matrix-Pade approximant while the
+benchmarks show the cost difference.
+
+Deflation is supported; look-ahead is not (a serious breakdown raises
+:class:`BreakdownError`) -- acceptable for a baseline, and documented
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.circuits.mna import MNASystem
+from repro.core.model import ReducedOrderModel
+from repro.errors import BreakdownError, FactorizationError, ReductionError
+from repro.linalg.utils import checked_splu
+
+__all__ = ["mpvl"]
+
+
+def mpvl(
+    system: MNASystem,
+    order: int,
+    *,
+    sigma0: float = 0.0,
+    deflation_tol: float = 1e-10,
+) -> ReducedOrderModel:
+    """Two-sided block-Lanczos matrix-Pade reduction (MPVL, ref. [6]).
+
+    Builds bi-orthogonal bases ``W^T V = I`` of the right Krylov space
+    of ``K = Ghat^{-1} C`` (start ``Ghat^{-1} B``) and the left Krylov
+    space of ``K^T`` (start ``B``), then forms
+
+    ``T = W^T K V``, ``rho = W^T Ghat^{-1} B``, ``eta = V^T B``,
+
+    with ``Z_n(sigma) = eta^T (I + (sigma - sigma0) T)^{-1} rho``.  The
+    result is packaged as a :class:`ReducedOrderModel` with
+    ``delta = I`` and a symmetrized ``rho`` when ``eta == rho`` (the
+    symmetric case); otherwise evaluation uses the general pair via the
+    metadata hook.
+
+    Raises
+    ------
+    BreakdownError
+        On a (near-)singular bi-orthogonality matrix, which SyMPVL's
+        look-ahead would have absorbed.
+    """
+    if order < 1:
+        raise ReductionError("order must be >= 1")
+    g_hat = sp.csc_matrix(system.shifted_g(sigma0))
+    try:
+        lu = checked_splu(g_hat)
+    except FactorizationError as exc:
+        raise ReductionError(f"G + sigma0 C singular at sigma0={sigma0}") from exc
+    lu_t = spla.splu(g_hat.T.tocsc())
+    c = system.C.tocsr()
+    c_t = system.C.T.tocsr()
+
+    def apply_right(x: np.ndarray) -> np.ndarray:
+        return lu.solve(c @ x)
+
+    def apply_left(x: np.ndarray) -> np.ndarray:
+        return c_t @ lu_t.solve(x)
+
+    right: list[np.ndarray] = []
+    left: list[np.ndarray] = []
+
+    r_block = [lu.solve(system.B[:, j]) for j in range(system.B.shape[1])]
+    l_block = [system.B[:, j].copy() for j in range(system.B.shape[1])]
+    r_queue = list(r_block)
+    l_queue = list(l_block)
+    r_ref = [max(np.linalg.norm(x), 1e-300) for x in r_queue]
+    l_ref = [max(np.linalg.norm(x), 1e-300) for x in l_queue]
+
+    while len(right) < order and r_queue and l_queue:
+        v = r_queue.pop(0)
+        w = l_queue.pop(0)
+        ref_v = r_ref.pop(0)
+        ref_w = l_ref.pop(0)
+        # bi-orthogonalize twice against existing pairs
+        for _ in range(2):
+            for vk, wk in zip(right, left):
+                v = v - vk * (wk @ v)
+                w = w - wk * (vk @ w)
+        nv = np.linalg.norm(v)
+        nw = np.linalg.norm(w)
+        if nv <= deflation_tol * ref_v or nw <= deflation_tol * ref_w:
+            continue  # deflate the pair
+        dot = (w @ v)
+        if abs(dot) <= 1e-12 * nv * nw:
+            raise BreakdownError(
+                "two-sided Lanczos breakdown (w^T v ~ 0); "
+                "SyMPVL's look-ahead handles this case"
+            )
+        v = v / nv
+        w = w / (dot / nv)  # so that w^T v = 1
+        right.append(v)
+        left.append(w)
+        r_queue.append(apply_right(v))
+        l_queue.append(apply_left(w))
+        r_ref.append(max(np.linalg.norm(r_queue[-1]), 1e-300))
+        l_ref.append(max(np.linalg.norm(l_queue[-1]), 1e-300))
+
+    if not right:
+        raise ReductionError("MPVL produced no vectors")
+    v_mat = np.column_stack(right)
+    w_mat = np.column_stack(left)
+    kv = np.column_stack([apply_right(v_mat[:, m]) for m in range(v_mat.shape[1])])
+    t = w_mat.T @ kv
+    rho = w_mat.T @ lu.solve(system.B)
+    eta = v_mat.T @ system.B
+
+    # General (non-symmetric) output functional:
+    # Z = eta^T (I + uT)^{-1} rho.
+    return ReducedOrderModel(
+        t=t,
+        delta=np.eye(t.shape[0]),
+        rho=rho,
+        sigma0=sigma0,
+        transfer=system.transfer,
+        port_names=list(system.port_names),
+        source_size=system.size,
+        guaranteed_stable_passive=False,
+        factorization_method="splu",
+        metadata={"algorithm": "mpvl"},
+        output=eta,
+    )

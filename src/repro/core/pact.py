@@ -1,0 +1,144 @@
+"""PACT baseline: pole matching via congruence (paper ref. [11]).
+
+Kerns, Wemple & Yang's PACT reduces RC substrate/parasitic networks by
+a two-stage congruence:
+
+1. a block elimination that decouples the *port* unknowns from the
+   *internal* unknowns in ``G`` exactly (so the reduced model's DC
+   behavior matches the original circuit exactly), and
+2. modal truncation of the internal block: the generalized eigenpairs
+   of ``(C_ii', G_ii)`` with the largest time constants -- the
+   dominant, slowest *poles* of the network -- are kept verbatim
+   ("pole matching").
+
+Both stages are congruences of PSD matrices, so the reduced model is
+passive by construction, like the Arnoldi baseline and unlike raw
+matrix-Pade on indefinite pencils.  The trade against SyMPVL (ablation
+ABL9): PACT needs a full eigendecomposition of the internal block
+(dense ``O(N^3)``), keeps poles rather than matching moments, and is
+formulated for RC networks only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.circuits.mna import MNASystem
+from repro.core.arnoldi import CongruenceModel
+from repro.errors import FactorizationError, ReductionError
+from repro.linalg.utils import checked_splu
+
+__all__ = ["pact"]
+
+#: internal blocks beyond this size would need an iterative eigensolver
+_DENSE_EIG_LIMIT = 3000
+
+
+def pact(system: MNASystem, n_poles: int) -> CongruenceModel:
+    """Reduce an RC multi-port by PACT-style pole matching.
+
+    Parameters
+    ----------
+    system:
+        An assembled system in the ``"rc"`` formulation with
+        nonsingular ``G`` (PACT's block elimination solves with the
+        internal conductance block).
+    n_poles:
+        Number of internal eigenmodes (poles) to keep; the reduced
+        order is ``num_ports + n_poles``.
+
+    Returns
+    -------
+    CongruenceModel
+        Passive by construction; its DC impedance equals the original
+        circuit's exactly.
+
+    Raises
+    ------
+    ReductionError
+        For non-RC formulations, singular internal conductance, or
+        internal blocks beyond the dense-eigensolver limit.
+    """
+    if system.formulation != "rc":
+        raise ReductionError(
+            'PACT applies to the "rc" formulation (substrate/parasitic '
+            "RC networks, ref. [11])"
+        )
+    p = system.num_ports
+    if n_poles < 0:
+        raise ReductionError("n_poles must be >= 0")
+
+    # partition unknowns into port-incident and internal nodes
+    port_rows = sorted({int(r) for r in np.nonzero(system.B)[0]})
+    internal_rows = [k for k in range(system.size) if k not in port_rows]
+    if len(internal_rows) > _DENSE_EIG_LIMIT:
+        raise ReductionError(
+            f"internal block of size {len(internal_rows)} exceeds the "
+            f"dense eigensolver limit {_DENSE_EIG_LIMIT}"
+        )
+    n_poles = min(n_poles, len(internal_rows))
+
+    g = sp.csc_matrix(system.G)
+    c = sp.csc_matrix(system.C)
+    idx_p = np.array(port_rows, dtype=np.intp)
+    idx_i = np.array(internal_rows, dtype=np.intp)
+
+    g_pp = g[np.ix_(idx_p, idx_p)].toarray()
+    g_ip = g[np.ix_(idx_i, idx_p)].toarray()
+    g_ii = g[np.ix_(idx_i, idx_i)].tocsc()
+
+    # stage 1: W = -G_ii^{-1} G_ip decouples G; X1 = [[I, 0], [W, I]]
+    try:
+        w = -checked_splu(g_ii).solve(g_ip) if idx_i.size else np.zeros((0, idx_p.size))
+    except FactorizationError as exc:
+        raise ReductionError(
+            "internal conductance block is singular; PACT needs a "
+            "resistive path among the internal nodes"
+        ) from exc
+    g_port = g_pp + g_ip.T @ w  # = G_pp - G_pi G_ii^{-1} G_ip (Schur)
+    g_port = 0.5 * (g_port + g_port.T)
+
+    c_pp = c[np.ix_(idx_p, idx_p)].toarray()
+    c_ip = c[np.ix_(idx_i, idx_p)].toarray()
+    c_ii = c[np.ix_(idx_i, idx_i)].toarray()
+    # C' blocks under X1
+    c_port = c_pp + c_ip.T @ w + w.T @ c_ip + w.T @ c_ii @ w
+    c_port = 0.5 * (c_port + c_port.T)
+    c_cross = c_ip + c_ii @ w  # internal x port block of C'
+
+    if n_poles and idx_i.size:
+        # stage 2: dominant eigenmodes of (C_ii, G_ii); G_ii-orthonormal
+        g_ii_dense = g_ii.toarray()
+        mu, vectors = scipy.linalg.eigh(c_ii, g_ii_dense)
+        order = np.argsort(mu)[::-1][:n_poles]  # largest time constants
+        basis = vectors[:, order]  # V^T G_ii V = I by eigh normalization
+        gr_int = np.eye(n_poles)
+        cr_int = np.diag(mu[order])
+        cr_cross = basis.T @ c_cross
+    else:
+        gr_int = np.zeros((0, 0))
+        cr_int = np.zeros((0, 0))
+        cr_cross = np.zeros((0, idx_p.size))
+
+    k = gr_int.shape[0]
+    gr = np.zeros((p + k, p + k))
+    cr = np.zeros((p + k, p + k))
+    gr[:p, :p] = g_port
+    gr[p:, p:] = gr_int
+    cr[:p, :p] = c_port
+    cr[p:, p:] = cr_int
+    cr[p:, :p] = cr_cross
+    cr[:p, p:] = cr_cross.T
+    br = np.vstack([system.B[idx_p], np.zeros((k, p))])
+
+    return CongruenceModel(
+        gr=gr,
+        cr=cr,
+        br=br,
+        transfer=system.transfer,
+        port_names=list(system.port_names),
+        source_size=system.size,
+        metadata={"algorithm": "pact", "kept_poles": k},
+    )

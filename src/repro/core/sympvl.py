@@ -1,0 +1,175 @@
+"""SyMPVL: the paper's main algorithm.
+
+Pipeline (paper sections 3-4): factor ``Ghat = G + sigma0 C`` as
+``M J M^T``, run the symmetric block-Lanczos process on
+``K = J^{-1} M^{-1} C M^{-T}`` with starting block ``J^{-1} M^{-1} B``,
+and assemble the matrix-Pade reduced-order model of eq. (19).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuits.mna import MNASystem
+from repro.core.lanczos import LanczosOptions, symmetric_block_lanczos
+from repro.core.model import ReducedOrderModel
+from repro.errors import FactorizationError, ReductionError
+from repro.linalg.factorization import SymmetricFactorization, factor_symmetric
+from repro.linalg.operators import LanczosOperator
+
+__all__ = ["sympvl", "default_shift", "resolve_shift"]
+
+
+def _enforce_psd(t: np.ndarray, rtol: float = 1e-5) -> np.ndarray:
+    """Restore the exact-arithmetic PSD structure of ``T`` (eq. 21).
+
+    On the guaranteed path ``T = V^T A V`` with ``A`` PSD, so ``T`` is
+    symmetric PSD in exact arithmetic; triangular-solve roundoff can
+    leave eigenvalues at ``-eps * kappa`` scale, which would map to
+    spurious unstable poles (section 5.1).  Symmetrize and clip only
+    *small* negative eigenvalues; a large negative eigenvalue would
+    indicate a real bug and is left for the certification to flag.
+    """
+    sym = 0.5 * (t + t.T)
+    eigenvalues, vectors = np.linalg.eigh(sym)
+    scale = float(np.abs(eigenvalues).max()) if eigenvalues.size else 0.0
+    if scale == 0.0:
+        return sym
+    negative = eigenvalues < 0.0
+    small = eigenvalues > -rtol * scale
+    clip = negative & small
+    if not clip.any() or not small.all():
+        return sym
+    eigenvalues = np.where(clip, 0.0, eigenvalues)
+    return (vectors * eigenvalues) @ vectors.T
+
+
+def default_shift(system: MNASystem) -> float:
+    """Heuristic expansion point when ``G`` is singular (paper eq. 26).
+
+    Uses the Frobenius-norm ratio ``|G| / |C|`` divided by the system
+    size.  The raw ratio lands near the *per-element* corner frequency
+    (in the kernel variable: ``rad/s`` for RC/RL, ``(rad/s)^2`` for
+    LC); the slowest *global* mode of a distributed structure is slower
+    by roughly the number of stages, hence the ``1/N`` factor.  Pade
+    accuracy concentrates around the expansion point, so callers who
+    know their frequency band should pass an explicit mid-band shift
+    instead of relying on this heuristic.
+    """
+    g_norm = sp.linalg.norm(system.G)
+    c_norm = sp.linalg.norm(system.C)
+    if c_norm == 0.0:
+        raise ReductionError(
+            "C is zero: the transfer function is constant; nothing to reduce"
+        )
+    if g_norm == 0.0:
+        return 1.0
+    return float(g_norm / c_norm / max(system.size, 1))
+
+
+def resolve_shift(
+    system: MNASystem,
+    shift: float | str,
+    factor_method: str = "auto",
+) -> tuple[float, SymmetricFactorization]:
+    """Pick the expansion point and factor ``G + sigma0 C``.
+
+    ``shift="auto"`` tries ``sigma0 = 0`` first and falls back to
+    :func:`default_shift` when the unshifted ``G`` cannot be factored
+    (singular -- e.g. the LC PEEC circuit of section 7.1, or RC
+    interconnect with no resistive path to ground).
+    """
+    definite_hint = True if system.psd_guaranteed else False
+    if shift == "auto":
+        candidates: list[float] = [0.0, default_shift(system)]
+    elif isinstance(shift, str):
+        raise ReductionError(f"unknown shift policy {shift!r}")
+    else:
+        candidates = [float(shift)]
+    last_error: Exception | None = None
+    for sigma0 in candidates:
+        g_hat = system.shifted_g(sigma0)
+        try:
+            factorization = factor_symmetric(
+                g_hat,
+                method=factor_method,
+                assume_definite=definite_hint if factor_method == "auto" else None,
+            )
+            return sigma0, factorization
+        except FactorizationError as exc:
+            last_error = exc
+    raise ReductionError(
+        f"could not factor G + sigma0*C for any candidate shift: {last_error}"
+    ) from last_error
+
+
+def sympvl(
+    system: MNASystem,
+    order: int,
+    *,
+    shift: float | str = "auto",
+    options: LanczosOptions | None = None,
+    factor_method: str = "auto",
+) -> ReducedOrderModel:
+    """Compute an ``order``-state matrix-Pade reduced model of ``system``.
+
+    Parameters
+    ----------
+    system:
+        Output of :func:`repro.circuits.assemble_mna`.
+    order:
+        Number of Lanczos states ``n``; the model matches at least
+        ``2 * floor(n / p)`` kernel moments about the expansion point
+        (eq. 14), more if deflation occurs.
+    shift:
+        Expansion point ``sigma0`` in the *kernel* variable (for LC
+        circuits that is ``s**2``); ``"auto"`` tries 0 then a heuristic
+        (paper eq. 26 frequency shift).
+    options:
+        Lanczos tuning (deflation/look-ahead tolerances).
+    factor_method:
+        Forwarded to :func:`repro.linalg.factor_symmetric`.
+
+    Returns
+    -------
+    ReducedOrderModel
+        With ``guaranteed_stable_passive`` set when the paper's
+        section-5 hypotheses hold (PSD pencil, ``J = I``, real
+        non-negative shift).
+    """
+    if system.num_ports < 1:
+        raise ReductionError("system has no ports")
+    if order < system.num_ports:
+        raise ReductionError(
+            f"order {order} is below the port count {system.num_ports}; "
+            "the matrix-Pade form (eq. 19) needs n >= p steps"
+        )
+    sigma0, factorization = resolve_shift(system, shift, factor_method)
+    operator = LanczosOperator(factorization, system.C, system.B)
+    result = symmetric_block_lanczos(operator, order, options)
+    guaranteed = (
+        system.psd_guaranteed
+        and factorization.j_is_identity
+        and sigma0 >= 0.0
+    )
+    t_matrix = result.t
+    if guaranteed:
+        t_matrix = _enforce_psd(t_matrix)
+    return ReducedOrderModel(
+        t=t_matrix,
+        delta=result.delta,
+        rho=result.rho,
+        sigma0=sigma0,
+        transfer=system.transfer,
+        port_names=list(system.port_names),
+        source_size=system.size,
+        guaranteed_stable_passive=guaranteed,
+        factorization_method=factorization.method,
+        metadata={
+            "lanczos": result,
+            "deflations": len(result.deflations),
+            "exhausted": result.exhausted,
+            "formulation": system.formulation,
+        },
+    )

@@ -1,0 +1,55 @@
+"""SyPVL: the single-input single-output special case (paper ref. [8]).
+
+For ``p = 1`` the block-Lanczos process degenerates to the classical
+symmetric Lanczos recurrence and the matrix-Pade approximant to the
+scalar Pade approximant of eq. (12).  The implementation simply invokes
+SyMPVL on the one-port system; this module exists to mirror the paper's
+naming and to host the scalar-specific conveniences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.mna import MNASystem
+from repro.core.lanczos import LanczosOptions
+from repro.core.model import ReducedOrderModel
+from repro.core.sympvl import sympvl
+from repro.errors import ReductionError
+
+__all__ = ["sypvl", "scalar_impedance"]
+
+
+def sypvl(
+    system: MNASystem,
+    order: int,
+    *,
+    shift: float | str = "auto",
+    options: LanczosOptions | None = None,
+    factor_method: str = "auto",
+) -> ReducedOrderModel:
+    """Reduce a one-port system (scalar Pade via symmetric Lanczos).
+
+    Raises
+    ------
+    ReductionError
+        If the system has more than one port (use :func:`sympvl`).
+    """
+    if system.num_ports != 1:
+        raise ReductionError(
+            f"sypvl requires exactly one port, got {system.num_ports}; "
+            "use sympvl for multi-ports"
+        )
+    return sympvl(
+        system, order, shift=shift, options=options, factor_method=factor_method
+    )
+
+
+def scalar_impedance(model: ReducedOrderModel, s: complex | np.ndarray):
+    """Evaluate a one-port model as a scalar (array) instead of 1x1 blocks."""
+    if model.num_ports != 1:
+        raise ReductionError("scalar_impedance requires a one-port model")
+    z = model.impedance(s)
+    if z.ndim == 2:
+        return z[0, 0]
+    return z[:, 0, 0]

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) surface.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CircuitError",
+    "NetlistParseError",
+    "TopologyError",
+    "AssemblyError",
+    "FactorizationError",
+    "BreakdownError",
+    "DeflationError",
+    "ReductionError",
+    "SynthesisError",
+    "SimulationError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Invalid circuit construction (bad element value, unknown node, ...)."""
+
+
+class NetlistParseError(CircuitError):
+    """The SPICE-subset netlist text could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class TopologyError(CircuitError):
+    """The circuit graph violates a structural requirement.
+
+    Examples: a floating node with no path to ground, an empty circuit,
+    a port attached to the datum node.
+    """
+
+
+class AssemblyError(CircuitError):
+    """MNA matrices could not be assembled for the requested formulation."""
+
+
+class FactorizationError(ReproError):
+    """A symmetric matrix factorization failed (not PD, singular pivot...)."""
+
+
+class BreakdownError(ReproError):
+    """The Lanczos process encountered an incurable breakdown.
+
+    With look-ahead enabled this occurs only when the whole remaining
+    Krylov space is exhausted in a defective way; the partial results up
+    to the breakdown step are still usable and attached as ``partial``.
+    """
+
+    def __init__(self, message: str, partial=None):
+        super().__init__(message)
+        self.partial = partial
+
+
+class DeflationError(ReproError):
+    """Inconsistent deflation state detected inside the Lanczos process."""
+
+
+class ReductionError(ReproError):
+    """A model-order-reduction driver could not produce a model."""
+
+
+class SynthesisError(ReproError):
+    """Reduced-circuit synthesis failed (rank-deficient port map, ...)."""
+
+
+class SimulationError(ReproError):
+    """AC or transient simulation failed."""
+
+
+class ConvergenceError(SimulationError):
+    """An iterative simulation loop failed to converge."""

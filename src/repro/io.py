@@ -1,0 +1,87 @@
+"""Saving and loading reduced-order models (``.npz`` archives).
+
+A macromodel is typically extracted once and consumed by many
+downstream simulations; these helpers persist everything needed to
+re-evaluate and re-stamp a :class:`ReducedOrderModel`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.circuits.mna import TransferMap
+from repro.core.model import ReducedOrderModel
+from repro.errors import ReproError
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: ReducedOrderModel, path: str | pathlib.Path) -> None:
+    """Serialize ``model`` to a NumPy ``.npz`` archive.
+
+    The Lanczos debug metadata is *not* stored (it references the full
+    factorization); everything needed for evaluation, synthesis, and
+    stamping is.
+    """
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "t": model.t,
+        "delta": model.delta,
+        "rho": model.rho,
+        "sigma0": np.array(model.sigma0),
+        "sigma_power": np.array(model.transfer.sigma_power),
+        "prefactor_power": np.array(model.transfer.prefactor_power),
+        "port_names": np.array(model.port_names, dtype=object),
+        "source_size": np.array(model.source_size),
+        "guaranteed": np.array(model.guaranteed_stable_passive),
+        "factorization_method": np.array(model.factorization_method),
+    }
+    if model.direct is not None:
+        payload["direct"] = model.direct
+    if model.output is not None:
+        payload["output"] = model.output
+    np.savez(path, **payload)
+
+
+def load_model(path: str | pathlib.Path) -> ReducedOrderModel:
+    """Load a model previously written by :func:`save_model`.
+
+    Raises
+    ------
+    ReproError
+        When the archive is missing required fields or has an
+        unsupported format version.
+    """
+    with np.load(path, allow_pickle=True) as archive:
+        try:
+            version = int(archive["format_version"])
+            if version > _FORMAT_VERSION:
+                raise ReproError(
+                    f"model archive format {version} is newer than this "
+                    f"library supports ({_FORMAT_VERSION})"
+                )
+            model = ReducedOrderModel(
+                t=archive["t"],
+                delta=archive["delta"],
+                rho=archive["rho"],
+                sigma0=float(archive["sigma0"]),
+                transfer=TransferMap(
+                    sigma_power=int(archive["sigma_power"]),
+                    prefactor_power=int(archive["prefactor_power"]),
+                ),
+                port_names=[str(n) for n in archive["port_names"]],
+                source_size=int(archive["source_size"]),
+                guaranteed_stable_passive=bool(archive["guaranteed"]),
+                factorization_method=str(archive["factorization_method"]),
+                direct=archive["direct"] if "direct" in archive else None,
+                output=archive["output"] if "output" in archive else None,
+            )
+        except KeyError as exc:
+            raise ReproError(
+                f"model archive {path} is missing field {exc}"
+            ) from exc
+    return model

@@ -1,0 +1,49 @@
+"""Linear-algebra substrate: orderings, factorizations, operators."""
+
+from repro.linalg.cholesky import SparseCholesky, dense_cholesky, sparse_cholesky
+from repro.linalg.factorization import (
+    CholeskyFactorization,
+    DenseCholeskyFactorization,
+    LDLTDenseFactorization,
+    SymmetricFactorization,
+    factor_symmetric,
+)
+from repro.linalg.ldlt import BlockDiagonal, LDLTFactorization, bunch_kaufman
+from repro.linalg.operators import LanczosOperator
+from repro.linalg.ordering import (
+    adjacency_lists,
+    minimum_degree_ordering,
+    profile,
+    rcm_ordering,
+)
+from repro.linalg.utils import (
+    is_positive_semidefinite,
+    is_symmetric,
+    min_eigenvalue,
+    relative_error,
+    symmetrize,
+)
+
+__all__ = [
+    "SparseCholesky",
+    "dense_cholesky",
+    "sparse_cholesky",
+    "SymmetricFactorization",
+    "CholeskyFactorization",
+    "DenseCholeskyFactorization",
+    "LDLTDenseFactorization",
+    "factor_symmetric",
+    "BlockDiagonal",
+    "LDLTFactorization",
+    "bunch_kaufman",
+    "LanczosOperator",
+    "adjacency_lists",
+    "rcm_ordering",
+    "minimum_degree_ordering",
+    "profile",
+    "is_symmetric",
+    "symmetrize",
+    "min_eigenvalue",
+    "is_positive_semidefinite",
+    "relative_error",
+]

@@ -1,0 +1,313 @@
+"""Symmetric factorization facade: ``G = M J M^T`` (paper eq. 15).
+
+The SyMPVL Lanczos process needs, for the (possibly shifted) matrix
+``G``:
+
+* solves with ``M`` and ``M^T`` (triangular),
+* products and solves with the "simple" matrix ``J``.
+
+Positive-definite ``G`` (RC/RL/LC circuit classes, paper section 2.2)
+gets a Cholesky factor and ``J = I``; indefinite ``G`` (general RLC MNA)
+gets a Bunch-Kaufman ``L J L^T`` with 1x1/2x2 blocks in ``J``.
+
+``factor_symmetric`` picks automatically and reports which path it took.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.errors import FactorizationError
+from repro.linalg.cholesky import SparseCholesky, dense_cholesky, sparse_cholesky
+from repro.linalg.ldlt import BlockDiagonal, bunch_kaufman
+
+__all__ = [
+    "SymmetricFactorization",
+    "CholeskyFactorization",
+    "DenseCholeskyFactorization",
+    "LDLTDenseFactorization",
+    "factor_symmetric",
+]
+
+#: above this size, dense fallbacks are refused to avoid memory blowups
+_DENSE_LIMIT = 6000
+
+
+class SymmetricFactorization(abc.ABC):
+    """Interface consumed by the Lanczos operator."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Matrix dimension ``N``."""
+
+    @property
+    @abc.abstractmethod
+    def j_is_identity(self) -> bool:
+        """True when ``J = I`` (definite case; Lanczos vectors orthogonal)."""
+
+    @property
+    @abc.abstractmethod
+    def method(self) -> str:
+        """Short label of the factorization used (for reporting)."""
+
+    @abc.abstractmethod
+    def solve_m(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``M x = b`` (vector or matrix right-hand side)."""
+
+    @abc.abstractmethod
+    def solve_mt(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``M^T x = b``."""
+
+    @abc.abstractmethod
+    def apply_j(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``J @ x``."""
+
+    @abc.abstractmethod
+    def solve_j(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``J^{-1} @ x``."""
+
+    # convenience -------------------------------------------------------
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve the full system ``G x = M J M^T x = b``."""
+        return self.solve_mt(self.solve_j(self.solve_m(b)))
+
+
+class CholeskyFactorization(SymmetricFactorization):
+    """``G = (P^T L)(P^T L)^T`` from the from-scratch sparse Cholesky."""
+
+    def __init__(self, chol: SparseCholesky):
+        self._chol = chol
+        n = chol.shape[0]
+        self._inverse_perm = np.empty(n, dtype=np.intp)
+        self._inverse_perm[chol.perm] = np.arange(n, dtype=np.intp)
+
+    @property
+    def size(self) -> int:
+        return self._chol.shape[0]
+
+    @property
+    def j_is_identity(self) -> bool:
+        return True
+
+    @property
+    def method(self) -> str:
+        return "sparse-cholesky"
+
+    def solve_m(self, b: np.ndarray) -> np.ndarray:
+        # M = P^T L  =>  M x = b  <=>  L x = P b
+        return self._chol.solve_lower(np.asarray(b)[self._chol.perm])
+
+    def solve_mt(self, b: np.ndarray) -> np.ndarray:
+        # M^T = L^T P  =>  L^T y = b, x = P^T y
+        y = self._chol.solve_upper(np.asarray(b))
+        return y[self._inverse_perm]
+
+    def apply_j(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x)
+
+    def solve_j(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x)
+
+
+class DenseCholeskyFactorization(SymmetricFactorization):
+    """``G = L L^T`` with a dense lower factor (small problems)."""
+
+    def __init__(self, lower: np.ndarray):
+        self._lower = lower
+
+    @property
+    def size(self) -> int:
+        return self._lower.shape[0]
+
+    @property
+    def j_is_identity(self) -> bool:
+        return True
+
+    @property
+    def method(self) -> str:
+        return "dense-cholesky"
+
+    def solve_m(self, b: np.ndarray) -> np.ndarray:
+        return scipy.linalg.solve_triangular(self._lower, np.asarray(b), lower=True)
+
+    def solve_mt(self, b: np.ndarray) -> np.ndarray:
+        return scipy.linalg.solve_triangular(
+            self._lower, np.asarray(b), lower=True, trans="T"
+        )
+
+    def apply_j(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x)
+
+    def solve_j(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x)
+
+
+class LDLTDenseFactorization(SymmetricFactorization):
+    """``G = M J M^T`` with ``M = P^T L`` from Bunch-Kaufman pivoting.
+
+    ``engine="scipy"`` uses LAPACK (``scipy.linalg.ldl``) for speed;
+    ``engine="python"`` uses the from-scratch implementation in
+    :mod:`repro.linalg.ldlt` (cross-validated in the tests).
+    """
+
+    #: relative threshold below which a pivot block flags (near) singularity
+    _PIVOT_RTOL = 1e-12
+
+    def __init__(self, g_dense: np.ndarray, *, engine: str = "scipy"):
+        n = g_dense.shape[0]
+        if engine == "python":
+            fact = bunch_kaufman(g_dense)
+            self._lower = fact.lower
+            self._perm = fact.perm
+            self._j = fact.j
+        elif engine == "scipy":
+            lu, d, perm = scipy.linalg.ldl(g_dense, lower=True)
+            # lu[perm] is unit lower triangular; d is block diagonal
+            self._lower = lu[perm]
+            self._perm = np.asarray(perm, dtype=np.intp)
+            self._j = _blocks_from_dense(d)
+        else:
+            raise FactorizationError(f"unknown LDLT engine {engine!r}")
+        self._check_pivots()
+        self._engine = engine
+        self._inverse_perm = np.empty(n, dtype=np.intp)
+        self._inverse_perm[self._perm] = np.arange(n, dtype=np.intp)
+
+    def _check_pivots(self) -> None:
+        """Reject (numerically) singular matrices.
+
+        LAPACK's ``sytrf`` happily returns near-zero pivots for singular
+        inputs; for circuits that means a frequency shift is required
+        (paper eq. 26), so surface it as a FactorizationError that the
+        shift-resolution logic catches.
+        """
+        extremes = [
+            np.abs(np.linalg.eigvalsh(block)) for block in self._j.blocks
+        ]
+        if not extremes:
+            return
+        smallest = min(float(e.min()) for e in extremes)
+        largest = max(float(e.max()) for e in extremes)
+        if smallest <= self._PIVOT_RTOL * max(largest, 1e-300):
+            raise FactorizationError(
+                f"matrix is numerically singular (pivot ratio "
+                f"{smallest / max(largest, 1e-300):.2e}); "
+                "use a nonzero expansion shift"
+            )
+
+    @property
+    def size(self) -> int:
+        return self._lower.shape[0]
+
+    @property
+    def j_is_identity(self) -> bool:
+        return self._j.is_identity
+
+    @property
+    def j(self) -> BlockDiagonal:
+        return self._j
+
+    @property
+    def method(self) -> str:
+        return f"bunch-kaufman-{self._engine}"
+
+    def solve_m(self, b: np.ndarray) -> np.ndarray:
+        # M = P^T L: rows of M in original order; M x = b <=> L x = P b
+        return scipy.linalg.solve_triangular(
+            self._lower, np.asarray(b)[self._perm], lower=True, unit_diagonal=True
+        )
+
+    def solve_mt(self, b: np.ndarray) -> np.ndarray:
+        y = scipy.linalg.solve_triangular(
+            self._lower, np.asarray(b), lower=True, trans="T", unit_diagonal=True
+        )
+        return y[self._inverse_perm]
+
+    def apply_j(self, x: np.ndarray) -> np.ndarray:
+        return self._j.matmul(x)
+
+    def solve_j(self, x: np.ndarray) -> np.ndarray:
+        return self._j.solve(x)
+
+
+def _blocks_from_dense(d: np.ndarray) -> BlockDiagonal:
+    """Extract the 1x1/2x2 block structure from a block-diagonal array."""
+    n = d.shape[0]
+    starts: list[int] = []
+    blocks: list[np.ndarray] = []
+    k = 0
+    while k < n:
+        if k + 1 < n and (d[k + 1, k] != 0.0 or d[k, k + 1] != 0.0):
+            block = d[k : k + 2, k : k + 2]
+            starts.append(k)
+            blocks.append(0.5 * (block + block.T))
+            k += 2
+        else:
+            starts.append(k)
+            blocks.append(np.array([[d[k, k]]]))
+            k += 1
+    return BlockDiagonal(tuple(starts), tuple(blocks), n)
+
+
+def factor_symmetric(
+    g: sp.spmatrix | np.ndarray,
+    *,
+    method: str = "auto",
+    assume_definite: bool | None = None,
+) -> SymmetricFactorization:
+    """Factor a symmetric matrix as ``G = M J M^T``.
+
+    Parameters
+    ----------
+    g:
+        Symmetric matrix (sparse or dense).
+    method:
+        ``"auto"`` (try Cholesky, fall back to Bunch-Kaufman),
+        ``"sparse-cholesky"``, ``"dense-cholesky"``, ``"ldlt"``
+        (LAPACK), or ``"ldlt-python"`` (from-scratch Bunch-Kaufman).
+    assume_definite:
+        Hint used by ``"auto"``: ``False`` skips the Cholesky attempt
+        (saves time on matrices known to be indefinite).
+
+    Raises
+    ------
+    FactorizationError
+        If every applicable path fails (e.g. the matrix is singular --
+        for circuits this means a frequency shift ``s0`` is needed,
+        paper eq. 26).
+    """
+    is_sparse = sp.issparse(g)
+    n = g.shape[0]
+
+    def to_dense() -> np.ndarray:
+        if n > _DENSE_LIMIT:
+            raise FactorizationError(
+                f"matrix of size {n} is too large for the dense fallback"
+            )
+        return g.toarray() if is_sparse else np.asarray(g, dtype=float)
+
+    if method == "sparse-cholesky":
+        return CholeskyFactorization(sparse_cholesky(sp.csc_matrix(g)))
+    if method == "dense-cholesky":
+        return DenseCholeskyFactorization(dense_cholesky(to_dense()))
+    if method == "ldlt":
+        return LDLTDenseFactorization(to_dense(), engine="scipy")
+    if method == "ldlt-python":
+        return LDLTDenseFactorization(to_dense(), engine="python")
+    if method != "auto":
+        raise FactorizationError(f"unknown factorization method {method!r}")
+
+    if assume_definite is not False:
+        try:
+            if is_sparse and n > 200:
+                return CholeskyFactorization(sparse_cholesky(sp.csc_matrix(g)))
+            return DenseCholeskyFactorization(dense_cholesky(to_dense()))
+        except FactorizationError:
+            if assume_definite is True:
+                raise
+    return LDLTDenseFactorization(to_dense(), engine="scipy")

@@ -1,0 +1,230 @@
+"""Dense symmetric-indefinite ``L D L^T`` factorization (Bunch-Kaufman).
+
+General RLC circuits have symmetric *indefinite* MNA matrices (eq. 3),
+so the SyMPVL factorization ``G = M J M^T`` (paper eq. 15 / Algorithm 1
+input) needs a symmetric pivoting factorization where ``J`` is block
+diagonal with 1x1 and 2x2 blocks.  This module implements the classic
+Bunch-Kaufman partial-pivoting algorithm from scratch (Golub & Van Loan
+section 4.4, the paper's reference [9]); the factorization facade can
+alternatively delegate to LAPACK via :func:`scipy.linalg.ldl`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FactorizationError
+
+__all__ = ["BlockDiagonal", "LDLTFactorization", "bunch_kaufman"]
+
+#: Bunch-Kaufman pivot-choice constant, minimizes element growth bound
+_ALPHA = (1.0 + math.sqrt(17.0)) / 8.0
+
+
+@dataclass(frozen=True)
+class BlockDiagonal:
+    """A block-diagonal matrix with 1x1 and 2x2 symmetric blocks.
+
+    ``starts[k]`` is the first index of block ``k``; ``blocks[k]`` is a
+    ``(1, 1)`` or ``(2, 2)`` ndarray.  This is the matrix ``J`` of the
+    paper's factorization ``G = M J M^T``.
+    """
+
+    starts: tuple[int, ...]
+    blocks: tuple[np.ndarray, ...]
+    size: int
+
+    @classmethod
+    def identity(cls, n: int) -> "BlockDiagonal":
+        blocks = tuple(np.ones((1, 1)) for _ in range(n))
+        return cls(tuple(range(n)), blocks, n)
+
+    @property
+    def is_identity(self) -> bool:
+        return all(
+            b.shape == (1, 1) and b[0, 0] == 1.0 for b in self.blocks
+        )
+
+    def to_array(self) -> np.ndarray:
+        out = np.zeros((self.size, self.size))
+        for start, block in zip(self.starts, self.blocks):
+            w = block.shape[0]
+            out[start : start + w, start : start + w] = block
+        return out
+
+    def to_sparse(self):
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(self.to_array())
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``J @ x`` for a vector or matrix ``x``."""
+        x = np.asarray(x)
+        out = np.empty_like(x, dtype=np.result_type(x, float))
+        for start, block in zip(self.starts, self.blocks):
+            w = block.shape[0]
+            out[start : start + w] = block @ x[start : start + w]
+        return out
+
+    def solve(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``J^{-1} @ x`` block by block."""
+        x = np.asarray(x)
+        out = np.empty_like(x, dtype=np.result_type(x, float))
+        for start, block in zip(self.starts, self.blocks):
+            w = block.shape[0]
+            if w == 1:
+                pivot = block[0, 0]
+                if pivot == 0.0:
+                    raise FactorizationError("singular 1x1 block in J")
+                out[start] = x[start] / pivot
+            else:
+                a, b, d = block[0, 0], block[0, 1], block[1, 1]
+                det = a * d - b * b
+                if det == 0.0:
+                    raise FactorizationError("singular 2x2 block in J")
+                x0, x1 = x[start], x[start + 1]
+                out[start] = (d * x0 - b * x1) / det
+                out[start + 1] = (-b * x0 + a * x1) / det
+        return out
+
+    def inertia(self) -> tuple[int, int, int]:
+        """(positive, negative, zero) eigenvalue counts of ``J``."""
+        pos = neg = zero = 0
+        for block in self.blocks:
+            eigs = np.linalg.eigvalsh(block)
+            pos += int((eigs > 0).sum())
+            neg += int((eigs < 0).sum())
+            zero += int((eigs == 0).sum())
+        return pos, neg, zero
+
+
+@dataclass(frozen=True)
+class LDLTFactorization:
+    """``P A P^T = L J L^T`` with unit lower-triangular ``L``.
+
+    ``perm`` maps permuted index to original index (row ``i`` of the
+    permuted matrix is row ``perm[i]`` of ``A``), so
+    ``A = M J M^T`` with ``M[perm[i], :] = L[i, :]``.
+    """
+
+    lower: np.ndarray
+    j: BlockDiagonal
+    perm: np.ndarray
+
+    def reconstruct(self) -> np.ndarray:
+        """Recompose ``A`` (testing aid)."""
+        core = self.lower @ self.j.to_array() @ self.lower.T
+        out = np.empty_like(core)
+        out[np.ix_(self.perm, self.perm)] = core
+        return out
+
+
+def bunch_kaufman(a: np.ndarray) -> LDLTFactorization:
+    """Bunch-Kaufman symmetric-indefinite factorization of dense ``a``.
+
+    Returns :class:`LDLTFactorization` with ``P a P^T = L J L^T``.
+
+    Raises
+    ------
+    FactorizationError
+        If the matrix is exactly singular at a pivot step (both the 1x1
+        and 2x2 pivot candidates vanish).
+    """
+    a = np.array(a, dtype=float)
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise FactorizationError("matrix must be square")
+    if n and not np.allclose(a, a.T, rtol=1e-10, atol=0.0):
+        raise FactorizationError("matrix must be symmetric")
+
+    perm = np.arange(n, dtype=np.intp)
+    lower = np.eye(n)
+    starts: list[int] = []
+    blocks: list[np.ndarray] = []
+
+    def swap(i: int, j: int, computed: int) -> None:
+        """Symmetric row/col swap; only the first ``computed`` columns of
+        ``lower`` hold factor entries and participate in the swap."""
+        if i == j:
+            return
+        a[[i, j], :] = a[[j, i], :]
+        a[:, [i, j]] = a[:, [j, i]]
+        lower[[i, j], :computed] = lower[[j, i], :computed]
+        perm[[i, j]] = perm[[j, i]]
+
+    k = 0
+    while k < n:
+        rest = n - k
+        if rest == 1:
+            pivot_size = 1
+        else:
+            column = np.abs(a[k + 1 :, k])
+            r_rel = int(np.argmax(column))
+            lam = column[r_rel]
+            r = k + 1 + r_rel
+            akk = abs(a[k, k])
+            if lam == 0.0:
+                pivot_size = 1  # column already diagonal here
+            elif akk >= _ALPHA * lam:
+                pivot_size = 1
+            else:
+                col_r = np.abs(a[k:, r])
+                col_r[r - k] = 0.0
+                sigma = col_r.max()
+                if akk * sigma >= _ALPHA * lam * lam:
+                    pivot_size = 1
+                elif abs(a[r, r]) >= _ALPHA * sigma:
+                    swap(k, r, k)
+                    pivot_size = 1
+                else:
+                    swap(k + 1, r, k)
+                    pivot_size = 2
+
+        if pivot_size == 1:
+            d = a[k, k]
+            if d == 0.0:
+                if np.abs(a[k:, k:]).max() == 0.0:
+                    # trailing block is exactly zero: factor is done with
+                    # zero blocks (G singular); record zero pivots.
+                    for kk in range(k, n):
+                        starts.append(kk)
+                        blocks.append(np.zeros((1, 1)))
+                    break
+                raise FactorizationError(
+                    f"zero pivot at step {k}; matrix is singular"
+                )
+            if k + 1 < n:
+                column = a[k + 1 :, k] / d
+                a[k + 1 :, k + 1 :] -= np.outer(column, a[k + 1 :, k])
+                lower[k + 1 :, k] = column
+                a[k + 1 :, k] = 0.0
+                a[k, k + 1 :] = 0.0
+            starts.append(k)
+            blocks.append(np.array([[d]]))
+            k += 1
+        else:
+            block = a[k : k + 2, k : k + 2].copy()
+            det = block[0, 0] * block[1, 1] - block[0, 1] * block[1, 0]
+            if det == 0.0:
+                raise FactorizationError(
+                    f"singular 2x2 pivot at step {k}; matrix is singular"
+                )
+            if k + 2 < n:
+                e = a[k + 2 :, k : k + 2]
+                linv = np.linalg.solve(block.T, e.T).T  # E @ inv(block)
+                a[k + 2 :, k + 2 :] -= linv @ e.T
+                lower[k + 2 :, k : k + 2] = linv
+                a[k + 2 :, k : k + 2] = 0.0
+                a[k : k + 2, k + 2 :] = 0.0
+            starts.append(k)
+            blocks.append(0.5 * (block + block.T))
+            k += 2
+
+    return LDLTFactorization(
+        lower=lower,
+        j=BlockDiagonal(tuple(starts), tuple(blocks), n),
+        perm=perm,
+    )

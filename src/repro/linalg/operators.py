@@ -1,0 +1,87 @@
+"""The Lanczos operator pair derived from a symmetric factorization.
+
+With ``G = M J M^T`` (paper eq. 15), the transfer function becomes
+
+``Z(s) = R^T (J + s A)^{-1} R``,  ``R = M^{-1} B``,  ``A = M^{-1} C M^{-T}``,
+
+and the Lanczos process iterates with the ``J``-symmetric operator
+``K = J^{-1} A`` on the starting block ``J^{-1} R`` (Algorithm 1 steps 0
+and 3a).  This module wraps those products so the Lanczos code never
+touches the factorization internals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.factorization import SymmetricFactorization
+
+__all__ = ["LanczosOperator"]
+
+
+class LanczosOperator:
+    """Matrix-free products with ``K = J^{-1} M^{-1} C M^{-T}``.
+
+    Parameters
+    ----------
+    factorization:
+        Factorization of the (possibly shifted) ``G``.
+    c:
+        The symmetric ``C`` matrix of the pencil ``G + s C``.
+    b:
+        The ``N x p`` input block ``B``.
+    """
+
+    def __init__(
+        self,
+        factorization: SymmetricFactorization,
+        c: sp.spmatrix | np.ndarray,
+        b: np.ndarray,
+    ):
+        self._fact = factorization
+        self._c = sp.csr_matrix(c) if not sp.issparse(c) else c.tocsr()
+        self._b = np.asarray(b, dtype=float)
+        if self._b.ndim == 1:
+            self._b = self._b[:, None]
+
+    @property
+    def size(self) -> int:
+        """Dimension ``N`` of the full system."""
+        return self._fact.size
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of ports ``p``."""
+        return self._b.shape[1]
+
+    @property
+    def j_is_identity(self) -> bool:
+        return self._fact.j_is_identity
+
+    @property
+    def factorization(self) -> SymmetricFactorization:
+        return self._fact
+
+    def reduced_input(self) -> np.ndarray:
+        """The block ``R = M^{-1} B`` (``N x p``)."""
+        return self._fact.solve_m(self._b)
+
+    def start_block(self) -> np.ndarray:
+        """The Lanczos starting block ``J^{-1} M^{-1} B`` (step 0)."""
+        return self._fact.solve_j(self.reduced_input())
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        """Compute ``K v = J^{-1} M^{-1} C M^{-T} v`` (step 3a)."""
+        t = self._fact.solve_mt(np.asarray(v))
+        t = self._c @ t
+        t = self._fact.solve_m(t)
+        return self._fact.solve_j(t)
+
+    def j_product(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``J x`` (the metric of the Lanczos inner product)."""
+        return self._fact.apply_j(np.asarray(x))
+
+    def j_inner(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """The bilinear form ``x^T J y`` for vectors or blocks."""
+        return np.asarray(x).T @ self.j_product(y)

@@ -1,0 +1,27 @@
+"""Simulation substrate: AC sweeps, transient integration, sources."""
+
+from repro.simulation.ac import ac_kernel, ac_sweep, model_sweep
+from repro.simulation.results import FrequencyResponse, TransientResult
+from repro.simulation.sources import DC, PiecewiseLinear, Pulse, Sine, Step, Waveform
+from repro.simulation.transient import (
+    transient_netlist,
+    transient_ports,
+    transient_reduced,
+)
+
+__all__ = [
+    "ac_kernel",
+    "ac_sweep",
+    "model_sweep",
+    "FrequencyResponse",
+    "TransientResult",
+    "Waveform",
+    "DC",
+    "Step",
+    "Pulse",
+    "PiecewiseLinear",
+    "Sine",
+    "transient_ports",
+    "transient_reduced",
+    "transient_netlist",
+]

@@ -1,0 +1,121 @@
+"""Time-domain source waveforms for transient analysis.
+
+Each waveform is a callable ``value = w(t)`` accepting scalars or numpy
+arrays, mirroring the common SPICE source cards (DC, PULSE, PWL, SIN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Waveform", "DC", "Step", "Pulse", "PiecewiseLinear", "Sine"]
+
+
+class Waveform:
+    """Base class: a time-domain signal ``w(t)``."""
+
+    def __call__(self, t):
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DC(Waveform):
+    """Constant value."""
+
+    value: float = 0.0
+
+    def __call__(self, t):
+        return np.full_like(np.asarray(t, dtype=float), self.value)
+
+
+@dataclass(frozen=True)
+class Step(Waveform):
+    """Smooth step from 0 to ``amplitude`` starting at ``delay``.
+
+    ``rise`` is the 0-to-100% ramp time (linear ramp); zero-rise ideal
+    steps excite unintegrable frequencies, so a strictly positive rise
+    is required.
+    """
+
+    amplitude: float = 1.0
+    delay: float = 0.0
+    rise: float = 1e-12
+
+    def __post_init__(self):
+        if self.rise <= 0.0:
+            raise SimulationError("Step.rise must be positive")
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        ramp = np.clip((t - self.delay) / self.rise, 0.0, 1.0)
+        return self.amplitude * ramp
+
+
+@dataclass(frozen=True)
+class Pulse(Waveform):
+    """SPICE-style PULSE: baseline -> peak with rise/fall and period.
+
+    Parameters follow the SPICE card ``PULSE(v1 v2 td tr tf pw per)``;
+    ``period = 0`` means a single pulse.
+    """
+
+    v1: float = 0.0
+    v2: float = 1.0
+    delay: float = 0.0
+    rise: float = 1e-12
+    fall: float = 1e-12
+    width: float = 1e-9
+    period: float = 0.0
+
+    def __post_init__(self):
+        if self.rise <= 0.0 or self.fall <= 0.0:
+            raise SimulationError("Pulse rise/fall must be positive")
+        if self.width < 0.0:
+            raise SimulationError("Pulse width must be non-negative")
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        local = t - self.delay
+        if self.period > 0.0:
+            local = np.mod(local, self.period)
+            local = np.where(t < self.delay, -1.0, local)
+        up = np.clip(local / self.rise, 0.0, 1.0)
+        down = np.clip((local - self.rise - self.width) / self.fall, 0.0, 1.0)
+        return self.v1 + (self.v2 - self.v1) * (up - down)
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear(Waveform):
+    """PWL source through the given ``(time, value)`` breakpoints."""
+
+    times: tuple
+    values: tuple
+
+    def __post_init__(self):
+        if len(self.times) != len(self.values) or len(self.times) < 2:
+            raise SimulationError("PWL needs >= 2 matching time/value points")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise SimulationError("PWL times must be strictly increasing")
+
+    def __call__(self, t):
+        return np.interp(np.asarray(t, dtype=float), self.times, self.values)
+
+
+@dataclass(frozen=True)
+class Sine(Waveform):
+    """``offset + amplitude * sin(2 pi f (t - delay))`` for ``t >= delay``."""
+
+    amplitude: float = 1.0
+    frequency: float = 1e9
+    offset: float = 0.0
+    delay: float = 0.0
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        active = t >= self.delay
+        phase = 2.0 * np.pi * self.frequency * (t - self.delay)
+        return self.offset + np.where(active, self.amplitude * np.sin(phase), 0.0)

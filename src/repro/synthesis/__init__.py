@@ -1,0 +1,25 @@
+"""Reduced-circuit synthesis back-ends (paper section 6)."""
+
+from repro.synthesis.cauer import CauerElement, cauer_elements, synthesize_cauer
+from repro.synthesis.foster import (
+    FosterSection,
+    foster_sections,
+    synthesize_foster,
+    synthesize_foster_lc,
+)
+from repro.synthesis.netlist_synth import SynthesisReport, synthesize_rc
+from repro.synthesis.stamping import StampedSystem, stamp_reduced_model
+
+__all__ = [
+    "SynthesisReport",
+    "synthesize_rc",
+    "FosterSection",
+    "foster_sections",
+    "synthesize_foster",
+    "synthesize_foster_lc",
+    "CauerElement",
+    "cauer_elements",
+    "synthesize_cauer",
+    "StampedSystem",
+    "stamp_reduced_model",
+]

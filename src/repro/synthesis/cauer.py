@@ -1,0 +1,248 @@
+"""Cauer (continued-fraction) ladder synthesis for one-port RC models.
+
+Paper section 6: the reduced equations "can be brought to a form that
+corresponds to an RLC topology, which generalizes either the first or
+the second Cauer forms".  :mod:`repro.synthesis.foster` gives the
+partial-fraction (Foster) realization; this module gives the ladder
+(Cauer) realization of a one-port RC impedance by continued-fraction
+expansion about ``s = infinity``:
+
+::
+
+    Z(s) = R1 + 1 / (s C1 + 1 / (R2 + 1 / (s C2 + ...)))
+
+i.e. alternating series resistors and shunt capacitors.  For an RC
+driving-point impedance (real poles/zeros, interlacing) the expansion
+terminates after exactly ``n`` capacitor extractions; numerical
+conditioning of the polynomial recursion limits practical use to modest
+orders (n <~ 12), which is documented and enforced with a clear error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.core.model import ReducedOrderModel
+from repro.errors import SynthesisError
+from repro.synthesis.foster import foster_sections
+
+__all__ = ["CauerElement", "cauer_elements", "synthesize_cauer"]
+
+#: practical order bound for the polynomial continued fraction
+_MAX_CAUER_ORDER = 16
+
+
+@dataclass(frozen=True)
+class CauerElement:
+    """One ladder element: ``kind`` is ``"R"`` (series) or ``"C"`` (shunt)."""
+
+    kind: str
+    value: float
+
+
+def _rational_from_sections(sections) -> tuple[np.ndarray, np.ndarray]:
+    """Build ``Z(s) = N(s)/D(s)`` (descending coefficients) from Foster
+    sections ``sum r_k / (1 + s tau_k)``."""
+    numerator = np.array([0.0])
+    denominator = np.array([1.0])
+    for section in sections:
+        if section.kind == "origin":
+            # term a / s -> num_t = [a], den_t = [1, 0]
+            num_t = np.array([section.resistance])
+            den_t = np.array([1.0, 0.0])
+        else:
+            # term: r / (1 + s tau) -> num_t = [r], den_t = [tau, 1]
+            num_t = np.array([section.resistance])
+            den_t = (
+                np.array([section.tau, 1.0])
+                if section.capacitance != 0.0
+                else np.array([1.0])
+            )
+        numerator = np.polyadd(
+            np.polymul(numerator, den_t), np.polymul(num_t, denominator)
+        )
+        denominator = np.polymul(denominator, den_t)
+    return np.atleast_1d(numerator), np.atleast_1d(denominator)
+
+
+def _trim(poly: np.ndarray, tol: float) -> np.ndarray:
+    scale = np.abs(poly).max(initial=0.0)
+    if scale == 0.0:
+        return np.array([0.0])
+    mask = np.abs(poly) > tol * scale
+    if not mask.any():
+        return np.array([0.0])
+    first = int(np.argmax(mask))
+    return poly[first:]
+
+
+def cauer_elements(
+    model: ReducedOrderModel, tol: float = 1e-9
+) -> list[CauerElement]:
+    """Continued-fraction (Cauer-I) elements of a one-port RC model.
+
+    Raises
+    ------
+    SynthesisError
+        For non-RC-realizable models (complex poles, negative time
+        constants make the extraction meaningless), orders beyond the
+        numerical limit, or a breakdown of the polynomial recursion.
+    """
+    if model.order > _MAX_CAUER_ORDER:
+        raise SynthesisError(
+            f"Cauer extraction is numerically reliable only up to order "
+            f"{_MAX_CAUER_ORDER}; use synthesize_rc or synthesize_foster"
+        )
+    sections = foster_sections(model)
+    if any(s.resistance <= 0 or s.capacitance < 0 for s in sections):
+        raise SynthesisError(
+            "Cauer extraction requires a positive-real RC impedance "
+            "(all Foster residues and time constants positive)"
+        )
+    # frequency normalization: without it the polynomial coefficients
+    # span ~n decades of tau and the trimming tolerance is meaningless
+    taus = [s.tau for s in sections if 0.0 < s.tau < float("inf")]
+    omega0 = 1.0 / float(np.exp(np.mean(np.log(taus)))) if taus else 1.0
+    scaled = [
+        type(sections[0])(
+            s.resistance * (omega0 if s.kind == "origin" else 1.0),
+            s.capacitance * (1.0 if s.kind == "origin" else omega0),
+            s.kind,
+        )
+        for s in sections
+    ]
+    # note: tau_scaled = R * (C * omega0) = tau * omega0 (dimensionless)
+    numerator, denominator = _rational_from_sections(scaled)
+
+    elements: list[CauerElement] = []
+    num = _trim(numerator, tol)
+    den = _trim(denominator, tol)
+    impedance_phase = True
+    for _ in range(4 * model.order + 8):
+        if np.abs(num).max(initial=0.0) == 0.0:
+            break
+        if impedance_phase:
+            # series resistance: value of N/D at s -> infinity
+            if len(num) == len(den):
+                resistance = num[0] / den[0]
+                num = _trim(np.polysub(num, resistance * den), tol)
+                if abs(resistance) > tol:
+                    elements.append(CauerElement("R", float(resistance)))
+            if np.abs(num).max(initial=0.0) == 0.0:
+                break
+            num, den = den, num  # -> admittance
+            impedance_phase = False
+        else:
+            # shunt capacitance: lim Y / s
+            if len(num) != len(den) + 1:
+                raise SynthesisError(
+                    "continued-fraction breakdown (unexpected degree "
+                    "pattern); the impedance is not an RC ladder function "
+                    "at this tolerance"
+                )
+            c_scaled = num[0] / den[0]
+            num = _trim(
+                np.polysub(num, np.polymul([c_scaled, 0.0], den)), tol
+            )
+            elements.append(CauerElement("C", float(c_scaled / omega0)))
+            if np.abs(num).max(initial=0.0) == 0.0:
+                break
+            num, den = den, num  # -> impedance
+            impedance_phase = True
+    else:
+        raise SynthesisError("continued fraction failed to terminate")
+    if not elements:
+        raise SynthesisError("model reduced to an empty ladder")
+    return elements
+
+
+def synthesize_cauer(
+    model: ReducedOrderModel,
+    *,
+    tol: float = 1e-9,
+    title: str = "",
+) -> Netlist:
+    """RC ladder netlist realizing a one-port model (paper section 6).
+
+    The ladder hangs off the port node: series resistors walk away from
+    the port, a shunt capacitor to ground after each.  Round-trip
+    accuracy is limited by the polynomial conditioning (tested at
+    modest orders).
+    """
+    elements = cauer_elements(model, tol=tol)
+    _self_check(elements, model)
+    net = Netlist(title or f"cauer one-port, {len(elements)} elements")
+    port_name = model.port_names[0] if model.port_names else "port"
+    net.port(port_name, "c0")
+    node = "c0"
+    r_idx = c_idx = 0
+    for position, element in enumerate(elements):
+        is_last = position == len(elements) - 1
+        if element.kind == "R":
+            # a trailing resistance is the *terminating* impedance of the
+            # continued fraction: it closes the ladder to ground
+            nxt = "0" if is_last else f"c{r_idx + 1}"
+            net.resistor(f"Rc{r_idx}", node, nxt, element.value)
+            node = nxt
+            r_idx += 1
+        else:
+            net.capacitor(f"Cc{c_idx}", node, "0", element.value)
+            c_idx += 1
+    return net
+
+
+def _ladder_value(elements: list[CauerElement], s: complex) -> complex:
+    """Impedance of the ladder the elements describe, evaluated directly.
+
+    Walks the continued fraction from the far end.  ``None`` represents
+    an open circuit beyond the current position; the trailing resistance
+    (if any) terminates to ground, matching :func:`synthesize_cauer`.
+    """
+    z: complex | None = None
+    last = len(elements) - 1
+    for idx in range(last, -1, -1):
+        element = elements[idx]
+        if element.kind == "R":
+            if idx == last:
+                z = complex(element.value)  # terminates to ground
+            elif z is not None:
+                z = element.value + z
+            # series R into an open stays open (z remains None)
+        else:  # shunt capacitor at the current node
+            admittance = s * element.value + (
+                0.0 if z is None else 1.0 / z
+            )
+            z = None if admittance == 0.0 else 1.0 / admittance
+    if z is None:
+        return complex("inf")
+    return z
+
+
+def _self_check(
+    elements: list[CauerElement], model: ReducedOrderModel, rtol: float = 1e-6
+) -> None:
+    """Verify the extracted ladder reproduces the model's kernel.
+
+    Continued-fraction extraction can silently produce garbage on
+    ill-conditioned inputs; this catches it and raises instead, so
+    callers can fall back to Foster or state-space synthesis.
+    """
+    poles = model.kernel_poles()
+    magnitudes = np.abs(poles[np.abs(poles) > 0])
+    base = float(np.median(magnitudes)) if magnitudes.size else 1e9
+    probes = 1j * base * np.array([0.3, 1.0, 3.0])
+    for s in probes:
+        expected = complex(model.kernel(complex(s))[0, 0])
+        got = _ladder_value(elements, complex(s))
+        scale = max(abs(expected), 1e-300)
+        if not np.isfinite(got) or abs(got - expected) > max(
+            rtol * scale, 1e-12
+        ):
+            raise SynthesisError(
+                "Cauer extraction failed its self-check (ill-conditioned "
+                "continued fraction); use synthesize_foster or "
+                "synthesize_rc instead"
+            )

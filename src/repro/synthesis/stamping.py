@@ -1,0 +1,290 @@
+"""Stamping reduced-order models into a host circuit's equations.
+
+The paper's abstract: the reduced matrices "can be 'stamped' directly
+into the Jacobian matrix of a SPICE-type circuit simulator".  This
+module implements exactly that: given a host netlist (with sources,
+possibly voltage sources) and a :class:`ReducedOrderModel` whose ports
+attach to host nodes, it assembles the coupled DAE
+
+::
+
+    [ G_h   0     A_p^T ] [x_h]     [ C_h  0    0 ] d [x_h]     [b_h(t)]
+    [ 0     G_r   -B_r  ] [x_m]  +  [ 0    C_r  0 ] --[x_m]  =  [  0   ]
+    [ A_p  -L_r^T  0    ] [i_p]     [ 0    0    0 ] dt[i_p]     [  0   ]
+
+where ``x_h`` are the host MNA unknowns, ``x_m`` the reduced states of
+eq. (23), and ``i_p`` the interface currents flowing from the host into
+the macromodel.  The middle row is the reduced DAE driven by the
+interface currents; the last row ties the interface voltages to the
+model outputs.  Both AC and transient analyses are provided, mirroring
+the plain-netlist front-ends.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuits.elements import GROUND
+from repro.circuits.netlist import Netlist
+from repro.circuits.topology import build_incidence
+from repro.core.model import ReducedOrderModel
+from repro.errors import SimulationError, SynthesisError
+from repro.simulation.results import FrequencyResponse, TransientResult
+from repro.simulation.sources import DC, Waveform
+from repro.simulation.transient import (
+    _dc_initial_sparse,
+    _incidence_for,
+    _integrate_sparse,
+)
+
+__all__ = ["StampedSystem", "stamp_reduced_model"]
+
+
+class StampedSystem:
+    """A host circuit with an embedded reduced-order macromodel.
+
+    Build with :func:`stamp_reduced_model`; run :meth:`ac` and
+    :meth:`transient` analyses.  Output names follow the host's node
+    names (``v(node)``).
+    """
+
+    def __init__(
+        self,
+        g_total: sp.csr_matrix,
+        c_total: sp.csr_matrix,
+        host_node_index: dict[str, int],
+        source_layout: dict,
+        label: str,
+    ):
+        self._g = g_total.tocsc()
+        self._c = c_total.tocsc()
+        self._node_index = host_node_index
+        self._sources = source_layout
+        self.label = label
+
+    @property
+    def size(self) -> int:
+        """Total unknown count (host + model states + interface currents)."""
+        return self._g.shape[0]
+
+    def _rhs(self, waveforms: dict[str, Waveform], t: np.ndarray) -> np.ndarray:
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        rhs = np.zeros((t.size, self.size))
+        for name, wave, rows, signs in self._sources["entries"]:
+            values = np.asarray(
+                waveforms.get(name, wave)(t), dtype=float
+            )
+            for row, sign in zip(rows, signs):
+                rhs[:, row] += sign * values
+        return rhs
+
+    def ac(
+        self,
+        s_values: np.ndarray,
+        outputs: list[str],
+        *,
+        source_amplitudes: dict[str, float] | None = None,
+        label: str = "",
+    ) -> FrequencyResponse:
+        """Phasor analysis: node voltages per frequency for unit drives.
+
+        ``source_amplitudes`` maps source element names to complex
+        amplitudes (defaults to each source's static value).  Returns a
+        :class:`FrequencyResponse` whose ``z[k, i, 0]`` is the phasor of
+        output ``i`` (a single "column" response rather than a Z matrix).
+        """
+        amplitudes = source_amplitudes or {}
+        drive = np.zeros(self.size, dtype=complex)
+        for name, wave, rows, signs in self._sources["entries"]:
+            amp = amplitudes.get(name, getattr(wave, "value", 0.0))
+            for row, sign in zip(rows, signs):
+                drive[row] += sign * amp
+        s_values = np.atleast_1d(np.asarray(s_values))
+        out_rows = [self._output_row(name) for name in outputs]
+        z = np.empty((s_values.size, len(outputs), 1), dtype=complex)
+        for k, s in enumerate(s_values.ravel()):
+            matrix = (self._g + s * self._c).tocsc()
+            import scipy.sparse.linalg as spla
+
+            x = spla.splu(matrix).solve(drive)
+            z[k, :, 0] = x[out_rows]
+        return FrequencyResponse(
+            s=s_values, z=z, port_names=list(outputs),
+            label=label or self.label,
+        )
+
+    def transient(
+        self,
+        waveforms: dict[str, Waveform],
+        t: np.ndarray,
+        outputs: list[str],
+        *,
+        method: str = "trapezoidal",
+        label: str = "",
+    ) -> TransientResult:
+        """Time-domain analysis of the coupled host + macromodel DAE."""
+        rhs = self._rhs(waveforms, t)
+        started = time.perf_counter()
+        x0 = _dc_initial_sparse(self._g, rhs[0])
+        x = _integrate_sparse(self._g, self._c, rhs, np.asarray(t), method, x0)
+        elapsed = time.perf_counter() - started
+        rows = [self._output_row(name) for name in outputs]
+        return TransientResult(
+            t=np.asarray(t),
+            outputs=x[:, rows],
+            output_names=[f"v({n})" for n in outputs],
+            label=label or self.label,
+            stats={"cpu_seconds": elapsed, "unknowns": self.size,
+                   "method": method},
+        )
+
+    def _output_row(self, node: str) -> int:
+        if node not in self._node_index:
+            raise SimulationError(f"unknown host node {node!r}")
+        return self._node_index[node]
+
+
+def stamp_reduced_model(
+    host: Netlist,
+    model: ReducedOrderModel,
+    connections: dict[str, str],
+    *,
+    label: str = "",
+) -> StampedSystem:
+    """Assemble a host circuit with ``model`` stamped at the given nodes.
+
+    Parameters
+    ----------
+    host:
+        Netlist with sources (current and/or voltage) and passive
+        elements; must *not* re-declare the macromodel's internals.
+    model:
+        Reduced model with a ``sigma = s`` kernel (RC or general MNA
+        reduction).
+    connections:
+        Maps each model port name to a host node name (ground allowed
+        for unused ports? no -- every port must attach to a node).
+
+    Raises
+    ------
+    SynthesisError
+        For LC-kernel models or missing port connections.
+    """
+    if model.transfer.sigma_power != 1:
+        raise SynthesisError(
+            "only sigma = s models can be stamped into a time-domain host"
+        )
+    missing = [p for p in model.port_names if p not in connections]
+    if missing:
+        raise SynthesisError(f"model ports not connected: {missing}")
+
+    inc = build_incidence(host)
+    n_nodes = inc.num_nodes
+    inductors = host.inductors
+    vsources = host.voltage_sources
+    n_l = len(inductors)
+    n_v = len(vsources)
+
+    g_nodes = (
+        inc.a_g.T @ sp.diags(inc.conductances) @ inc.a_g
+        if inc.a_g.shape[0]
+        else sp.csr_matrix((n_nodes, n_nodes))
+    )
+    c_nodes = (
+        inc.a_c.T @ sp.diags(inc.capacitances) @ inc.a_c
+        if inc.a_c.shape[0]
+        else sp.csr_matrix((n_nodes, n_nodes))
+    )
+    a_v = _incidence_for(vsources, inc.node_index)
+
+    state = model.to_state_space()
+    p = model.num_ports
+    n_m = state.order
+
+    # interface incidence: one row per model port over host nodes
+    rows, cols, data = [], [], []
+    for k, port_name in enumerate(model.port_names):
+        node = connections[port_name]
+        if node == GROUND:
+            continue
+        if node not in inc.node_index:
+            raise SynthesisError(
+                f"connection target {node!r} is not a host node"
+            )
+        rows.append(k)
+        cols.append(inc.node_index[node])
+        data.append(1.0)
+    a_p = sp.csr_matrix((data, (rows, cols)), shape=(p, n_nodes))
+
+    n_host = n_nodes + n_l + n_v
+    zero = sp.csr_matrix
+
+    # host block (nodes + inductor currents + vsource currents)
+    g_host = sp.bmat(
+        [
+            [g_nodes, inc.a_l.T, a_v.T],
+            [inc.a_l, None, None],
+            [a_v, None, None],
+        ],
+        format="csr",
+    ) if (n_l or n_v) else g_nodes.tocsr()
+    c_host = sp.bmat(
+        [
+            [c_nodes, zero((n_nodes, n_l)), zero((n_nodes, n_v))],
+            [zero((n_l, n_nodes)), -inc.inductance, zero((n_l, n_v))],
+            [zero((n_v, n_nodes)), zero((n_v, n_l)), zero((n_v, n_v))],
+        ],
+        format="csr",
+    ) if (n_l or n_v) else c_nodes.tocsr()
+
+    # pad the interface incidence over the full host unknown vector
+    a_p_full = sp.hstack(
+        [a_p, zero((p, n_l + n_v))], format="csr"
+    ) if (n_l or n_v) else a_p
+
+    d_block = (
+        sp.csr_matrix(-state.d) if state.d is not None else zero((p, p))
+    )
+    g_total = sp.bmat(
+        [
+            [g_host, None, a_p_full.T],
+            [None, sp.csr_matrix(state.gr), sp.csr_matrix(-state.br)],
+            [a_p_full, sp.csr_matrix(-state.lr.T), d_block],
+        ],
+        format="csr",
+    )
+    c_total = sp.bmat(
+        [
+            [c_host, None, None],
+            [None, sp.csr_matrix(state.cr), zero((n_m, p))],
+            [zero((p, n_host)), zero((p, n_m)), zero((p, p))],
+        ],
+        format="csr",
+    )
+
+    # source layout: (name, static waveform, matrix rows, signs)
+    entries = []
+    for source in host.current_sources:
+        source_rows, signs = [], []
+        if source.node_pos != GROUND:
+            source_rows.append(inc.node_index[source.node_pos])
+            signs.append(1.0)
+        if source.node_neg != GROUND:
+            source_rows.append(inc.node_index[source.node_neg])
+            signs.append(-1.0)
+        entries.append((source.name, DC(source.value), source_rows, signs))
+    for k, source in enumerate(vsources):
+        entries.append(
+            (source.name, DC(source.value), [n_nodes + n_l + k], [1.0])
+        )
+
+    return StampedSystem(
+        g_total=g_total,
+        c_total=c_total,
+        host_node_index=dict(inc.node_index),
+        source_layout={"entries": entries},
+        label=label or f"host+macromodel(n={n_m})",
+    )

@@ -1,0 +1,60 @@
+"""Unit tests for the ASCII plotting helper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_structure(self):
+        x = np.arange(10)
+        text = ascii_plot(x, {"exact": np.exp(x)}, width=40, height=6,
+                          title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "log10|y|" in lines[1]
+        body = [line for line in lines if line.startswith("|")]
+        assert len(body) == 6
+        assert all(len(line) == 42 for line in body)  # width + 2 bars
+        assert "legend" in lines[-1]
+
+    def test_markers_are_first_characters(self):
+        x = np.arange(5)
+        text = ascii_plot(x, {"alpha": x + 1, "beta": x + 2}, width=20,
+                          height=5)
+        assert "'a' = alpha" in text
+        assert "'b' = beta" in text
+        assert "a" in text.replace("alpha", "").replace("beta", "")
+
+    def test_linear_mode(self):
+        text = ascii_plot([0, 1], {"y": [0.0, 1.0]}, logy=False, height=4,
+                          width=10)
+        assert "y in [0, 1]" in text
+
+    def test_log_floor_on_zeros(self):
+        text = ascii_plot([0, 1], {"z": [0.0, 1.0]}, height=4, width=10)
+        assert "-30" in text  # floored log of zero
+
+    def test_constant_series(self):
+        # degenerate y-range must not divide by zero
+        text = ascii_plot([0, 1, 2], {"c": [5.0, 5.0, 5.0]}, height=3,
+                          width=12, logy=False)
+        assert "c" in text
+
+    def test_single_x(self):
+        text = ascii_plot([3.0], {"p": [2.0]}, height=3, width=8,
+                          logy=False)
+        assert "p" in text
+
+    def test_monotone_series_rises_left_to_right(self):
+        x = np.arange(30)
+        text = ascii_plot(x, {"m": np.exp(x)}, width=30, height=10)
+        body = [line[1:-1] for line in text.splitlines()
+                if line.startswith("|")]
+        first_col = min(row.find("m") for row in body if "m" in row)
+        # the top row's marker must be to the right of the bottom row's
+        top_positions = [row.index("m") for row in body[:2] if "m" in row]
+        bottom_positions = [row.index("m") for row in body[-2:] if "m" in row]
+        assert min(top_positions) > max(bottom_positions)
+        assert first_col >= 0

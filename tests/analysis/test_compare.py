@@ -1,0 +1,70 @@
+"""Unit tests for comparison metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import (
+    crossover_order,
+    frequency_error,
+    max_relative_error,
+    rms_db_error,
+    transient_error,
+)
+from repro.simulation.results import FrequencyResponse, TransientResult
+
+
+class TestMaxRelativeError:
+    def test_zero_for_equal(self):
+        a = np.ones((3, 2))
+        assert max_relative_error(a, a) == 0.0
+
+    def test_global_normalization(self):
+        exact = np.array([10.0, 1e-12])
+        approx = np.array([10.0, 2e-12])
+        # pointwise this would be 1.0; global normalization keeps it tiny
+        assert max_relative_error(approx, exact) < 1e-12
+
+    def test_zero_reference(self):
+        assert max_relative_error(np.array([2.0]), np.array([0.0])) == 2.0
+
+
+class TestRmsDb:
+    def test_db_semantics(self):
+        exact = np.array([1.0, 1.0])
+        approx = np.array([10.0, 10.0])  # +20 dB everywhere
+        assert rms_db_error(approx, exact) == pytest.approx(20.0)
+
+
+class TestResponseWrappers:
+    def test_frequency_error(self):
+        s = np.array([1j])
+        a = FrequencyResponse(s=s, z=np.ones((1, 1, 1)), port_names=["p"])
+        b = FrequencyResponse(s=s, z=2 * np.ones((1, 1, 1)), port_names=["p"])
+        metrics = frequency_error(a, b)
+        assert metrics["max_rel"] == pytest.approx(0.5)
+        assert metrics["rms_db"] == pytest.approx(20 * np.log10(2))
+
+    def test_shape_mismatch(self):
+        s = np.array([1j])
+        a = FrequencyResponse(s=s, z=np.ones((1, 1, 1)), port_names=["p"])
+        b = FrequencyResponse(s=s, z=np.ones((1, 2, 2)), port_names=["p", "q"])
+        with pytest.raises(ValueError):
+            frequency_error(a, b)
+
+    def test_transient_error(self):
+        t = np.zeros(2)
+        a = TransientResult(t=t, outputs=np.ones((2, 1)), output_names=["x"])
+        b = TransientResult(t=t, outputs=2 * np.ones((2, 1)), output_names=["x"])
+        metrics = transient_error(a, b)
+        assert metrics["max_rel"] == pytest.approx(0.5)
+
+
+class TestCrossover:
+    def test_finds_first(self):
+        assert crossover_order([4, 8, 12], [1.0, 1e-3, 1e-6], 1e-2) == 8
+
+    def test_none_when_never(self):
+        assert crossover_order([4, 8], [1.0, 0.5], 1e-3) is None
+
+    def test_unsorted_input(self):
+        assert crossover_order([12, 4, 8], [1e-6, 1.0, 1e-3], 1e-2) == 8

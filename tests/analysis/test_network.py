@@ -1,0 +1,79 @@
+"""Unit tests for Z/Y/S network-parameter conversions."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.network import (
+    is_passive_scattering,
+    max_singular_value,
+    s_to_z,
+    y_to_z,
+    z_to_s,
+    z_to_y,
+)
+
+
+class TestKnownValues:
+    def test_matched_load_s_zero(self):
+        z = np.array([[50.0 + 0j]])
+        assert abs(z_to_s(z, 50.0)[0, 0]) < 1e-14
+
+    def test_open_circuit_s_one(self):
+        z = np.array([[1e12 + 0j]])
+        assert z_to_s(z, 50.0)[0, 0] == pytest.approx(1.0, rel=1e-9)
+
+    def test_short_circuit_s_minus_one(self):
+        z = np.array([[1e-9 + 0j]])
+        assert z_to_s(z, 50.0)[0, 0] == pytest.approx(-1.0, rel=1e-9)
+
+    def test_y_of_resistor(self):
+        z = np.array([[100.0 + 0j]])
+        assert z_to_y(z)[0, 0] == pytest.approx(0.01)
+
+
+class TestRoundTrips:
+    def test_z_s_round_trip_stack(self, rc_two_port_system):
+        s = 1j * np.logspace(7, 10, 7)
+        z = repro.ac_sweep(rc_two_port_system, s).z
+        back = s_to_z(z_to_s(z))
+        assert np.abs(back - z).max() < 1e-9 * np.abs(z).max()
+
+    def test_z_y_round_trip(self, rc_two_port_system):
+        s = 1j * np.logspace(7, 10, 5)
+        z = repro.ac_sweep(rc_two_port_system, s).z
+        back = y_to_z(z_to_y(z))
+        assert np.abs(back - z).max() < 1e-9 * np.abs(z).max()
+
+    def test_single_matrix_shape_preserved(self):
+        z = np.eye(2) * 75.0 + 0j
+        assert z_to_s(z).shape == (2, 2)
+
+
+class TestPassivity:
+    def test_passive_circuit_is_scattering_passive(self, rc_two_port_system):
+        s = 1j * np.logspace(7, 10, 15)
+        z = repro.ac_sweep(rc_two_port_system, s).z
+        assert is_passive_scattering(z_to_s(z))
+
+    def test_active_matrix_flagged(self):
+        z = np.array([[-10.0 + 0j]])  # negative resistance
+        assert not is_passive_scattering(z_to_s(z))
+        assert max_singular_value(z_to_s(z)) > 1.0
+
+    def test_reduced_model_scattering_passive(self, rc_two_port_system):
+        model = repro.sympvl(rc_two_port_system, order=10, shift=0.0)
+        s = 1j * np.logspace(7, 10, 15)
+        assert is_passive_scattering(z_to_s(model.impedance(s)), tol=1e-7)
+
+
+class TestValidation:
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            z_to_s(np.zeros((3, 2)))
+
+    def test_bad_reference(self):
+        with pytest.raises(ValueError):
+            z_to_s(np.eye(2), z0=0.0)
+        with pytest.raises(ValueError):
+            s_to_z(np.zeros((1, 1)), z0=-50.0)

@@ -1,0 +1,44 @@
+"""Unit tests for the reporting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentRecord, Table
+
+
+class TestTable:
+    def test_render_contains_data(self):
+        t = Table("demo", ["order", "error"])
+        t.row(8, 1.5e-3)
+        t.row(16, 2.5e-9)
+        text = t.render()
+        assert "demo" in text
+        assert "8" in text and "0.0015" in text
+        assert "2.500e-09" in text
+
+    def test_row_arity_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.row(1)
+
+    def test_empty_table_renders(self):
+        assert "empty" in Table("empty", ["x"]).render()
+
+
+class TestExperimentRecord:
+    def test_render(self):
+        rec = ExperimentRecord(
+            experiment_id="FIG5",
+            description="transient speedup",
+            paper="132 s vs 2.15 s (61x)",
+            measured="measured 40x",
+            shape_holds=True,
+            note="different hardware",
+        )
+        text = rec.render()
+        assert "[FIG5]" in text
+        assert "OK" in text
+        assert "different hardware" in text
+
+    def test_mismatch_label(self):
+        rec = ExperimentRecord("X", "d", "p", "m", shape_holds=False)
+        assert "MISMATCH" in rec.render()

@@ -1,0 +1,98 @@
+"""Unit tests for adjoint impedance sensitivities."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.sensitivity import impedance_sensitivities
+from repro.errors import SimulationError
+
+
+def finite_difference(net, name, s, rel=1e-6):
+    """Central-difference dZ/d(value) oracle."""
+
+    def z_of(perturbed):
+        system = repro.assemble_mna(perturbed, "mna")
+        g = system.G.toarray()
+        c = system.C.toarray()
+        return system.B.T @ np.linalg.solve(g + s * c, system.B)
+
+    element = net[name]
+    h = element.value * rel
+    plus, minus = repro.Netlist(), repro.Netlist()
+    for el in net:
+        if el.name == name:
+            plus.add(dataclasses.replace(el, value=el.value + h))
+            minus.add(dataclasses.replace(el, value=el.value - h))
+        else:
+            plus.add(el)
+            minus.add(el)
+    return (z_of(plus) - z_of(minus)) / (2 * h)
+
+
+@pytest.fixture
+def rlc_net():
+    return repro.rlc_line(5)
+
+
+class TestAgainstFiniteDifferences:
+    @pytest.mark.parametrize("name", ["R1", "C2", "L3"])
+    def test_rlc_elements(self, rlc_net, name):
+        s = 1j * 3e9
+        sens = impedance_sensitivities(rlc_net, s, [name])[name]
+        fd = finite_difference(rlc_net, name, s)
+        scale = max(np.abs(fd).max(), 1e-300)
+        assert np.abs(sens - fd).max() < 1e-3 * scale
+
+    def test_rc_circuit(self):
+        net = repro.rc_ladder(8, port_at_far_end=True)
+        net.resistor("Rg", "n9", "0", 1e3)
+        s = 1j * 1e9
+        sens = impedance_sensitivities(net, s, ["R3", "C5"])
+        for name in ("R3", "C5"):
+            fd = finite_difference(net, name, s)
+            scale = max(np.abs(fd).max(), 1e-300)
+            assert np.abs(sens[name] - fd).max() < 1e-3 * scale
+
+
+class TestStructure:
+    def test_all_elements_by_default(self, rlc_net):
+        sens = impedance_sensitivities(rlc_net, 1j * 1e9)
+        names = set(sens)
+        assert {"R0", "C0", "L0"} <= names
+        stats = rlc_net.stats()
+        expected = stats["resistors"] + stats["capacitors"] + stats["inductors"]
+        assert len(names) == expected
+
+    def test_matrices_are_p_by_p(self, rlc_net):
+        sens = impedance_sensitivities(rlc_net, 1j * 1e9, ["R0"])
+        p = len(rlc_net.ports)
+        assert sens["R0"].shape == (p, p)
+
+    def test_symmetry(self, rlc_net):
+        """Reciprocity: sensitivity matrices inherit Z's symmetry."""
+        sens = impedance_sensitivities(rlc_net, 1j * 2e9)
+        for matrix in sens.values():
+            assert np.abs(matrix - matrix.T).max() <= 1e-9 * max(
+                np.abs(matrix).max(), 1e-300
+            )
+
+    def test_grounded_resistor_sign(self):
+        """Raising a shunt resistor raises the port impedance."""
+        net = repro.Netlist()
+        net.port("p", "a")
+        net.resistor("R1", "a", "0", 100.0)
+        sens = impedance_sensitivities(net, 0.0 + 1e-6j, ["R1"])["R1"]
+        assert sens[0, 0].real == pytest.approx(1.0, rel=1e-6)
+
+    def test_mutual_rejected(self):
+        net = repro.Netlist()
+        net.port("p", "a")
+        net.inductor("L1", "a", "0", 1e-9)
+        net.inductor("L2", "b", "0", 1e-9)
+        net.resistor("R1", "b", "0", 1.0)
+        net.mutual("K1", "L1", "L2", 0.5)
+        with pytest.raises(SimulationError, match="sensitivity"):
+            impedance_sensitivities(net, 1j * 1e9, ["K1"])

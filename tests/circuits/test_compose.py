@@ -1,0 +1,95 @@
+"""Unit tests for netlist merging."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits.compose import merge_netlists
+from repro.errors import CircuitError
+
+
+@pytest.fixture
+def block():
+    net = repro.rc_ladder(5, port_at_far_end=True)
+    return net
+
+
+@pytest.fixture
+def host():
+    net = repro.Netlist("host")
+    net.isource("Idrv", "a", "0", 0.0)
+    net.resistor("Rs", "a", "0", 50.0)
+    net.capacitor("Cl", "b", "0", 1e-12)
+    return net
+
+
+class TestMerge:
+    def test_counts(self, host, block):
+        merged = merge_netlists(host, block, {"in": "a", "out": "b"})
+        stats = merged.stats()
+        assert stats["resistors"] == 1 + 5
+        assert stats["capacitors"] == 1 + 5
+        assert stats["ports"] == 0
+
+    def test_inputs_unmodified(self, host, block):
+        n_host, n_block = len(host), len(block)
+        merge_netlists(host, block, {"in": "a", "out": "b"})
+        assert len(host) == n_host
+        assert len(block) == n_block
+
+    def test_internal_nodes_prefixed(self, host, block):
+        merged = merge_netlists(host, block, {"in": "a", "out": "b"},
+                                prefix="sub")
+        assert any(n.startswith("sub.") for n in merged.nodes)
+        assert "sub.R1" in merged
+
+    def test_port_nodes_identified(self, host, block):
+        merged = merge_netlists(host, block, {"in": "a", "out": "b"})
+        first_r = merged["blk.R1"]
+        assert first_r.node_pos == "a"  # block port node replaced by host node
+
+    def test_keep_block_ports(self, host, block):
+        merged = merge_netlists(
+            host, block, {"in": "a", "out": "b"}, keep_block_ports=True
+        )
+        assert merged.port_names == ["blk.in", "blk.out"]
+
+    def test_mutual_inductors_renamed(self, host):
+        block = repro.Netlist()
+        block.port("p", "x")
+        block.inductor("L1", "x", "y", 1e-9)
+        block.inductor("L2", "y", "0", 1e-9)
+        block.mutual("K1", "L1", "L2", 0.5)
+        merged = merge_netlists(host, block, {"p": "a"})
+        k = merged["blk.K1"]
+        assert k.inductor_a == "blk.L1"
+
+    def test_missing_connection_rejected(self, host, block):
+        with pytest.raises(CircuitError, match="unconnected"):
+            merge_netlists(host, block, {"in": "a"})
+
+    def test_unknown_port_rejected(self, host, block):
+        with pytest.raises(CircuitError, match="unknown block ports"):
+            merge_netlists(host, block, {"in": "a", "out": "b", "zz": "c"})
+
+    def test_non_grounded_port_rejected(self, host):
+        block = repro.Netlist()
+        block.resistor("R1", "x", "y", 1.0)
+        block.port("p", "x", "y")
+        with pytest.raises(CircuitError, match="ground-referenced"):
+            merge_netlists(host, block, {"p": "a"})
+
+    def test_merged_circuit_simulates(self, host, block):
+        """The merged netlist is electrically the block between a and b."""
+        merged = merge_netlists(host, block, {"in": "a", "out": "b"})
+        t = np.linspace(0, 2e-7, 2001)
+        from repro.simulation import Step, transient_netlist
+
+        res = transient_netlist(
+            merged, {"Idrv": Step(amplitude=1e-3, rise=1e-10)}, t,
+            outputs=["a", "b"],
+        )
+        # DC: all current through Rs (caps block) -> v(a) ~ 50 mV; and the
+        # far node follows at DC through the ladder resistors
+        assert res.signal("v(a)")[-1] == pytest.approx(0.05, rel=0.05)
+        assert res.signal("v(b)")[-1] == pytest.approx(0.05, rel=0.05)

@@ -1,0 +1,105 @@
+"""Unit tests for circuit element construction and validation."""
+
+import math
+
+import pytest
+
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    MutualInductance,
+    Port,
+    Resistor,
+    VoltageSource,
+)
+from repro.errors import CircuitError
+
+
+class TestTwoTerminalValidation:
+    def test_resistor_basic(self):
+        r = Resistor("R1", "a", "b", 100.0)
+        assert r.nodes == ("a", "b")
+        assert r.conductance == pytest.approx(0.01)
+
+    def test_zero_value_rejected(self):
+        with pytest.raises(CircuitError, match="non-zero"):
+            Resistor("R1", "a", "b", 0.0)
+
+    def test_negative_value_allowed(self):
+        # synthesized circuits legitimately contain negative elements
+        assert Resistor("R1", "a", "b", -5.0).value == -5.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(CircuitError, match="finite"):
+            Capacitor("C1", "a", "b", math.nan)
+
+    def test_inf_rejected(self):
+        with pytest.raises(CircuitError, match="finite"):
+            Inductor("L1", "a", "b", math.inf)
+
+    def test_same_node_rejected(self):
+        with pytest.raises(CircuitError, match="both terminals"):
+            Resistor("R1", "x", "x", 1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CircuitError, match="non-empty"):
+            Resistor("", "a", "b", 1.0)
+
+    def test_whitespace_name_rejected(self):
+        with pytest.raises(CircuitError, match="whitespace"):
+            Resistor("R 1", "a", "b", 1.0)
+
+    def test_whitespace_node_rejected(self):
+        with pytest.raises(CircuitError, match="whitespace"):
+            Resistor("R1", "a b", "c", 1.0)
+
+    def test_boolean_value_rejected(self):
+        with pytest.raises(CircuitError, match="real number"):
+            Resistor("R1", "a", "b", True)
+
+
+class TestSources:
+    def test_current_source_zero_allowed(self):
+        assert CurrentSource("I1", "a", "0").value == 0.0
+
+    def test_voltage_source_zero_allowed(self):
+        assert VoltageSource("V1", "a", "0").value == 0.0
+
+    def test_prefixes(self):
+        assert CurrentSource("I1", "a", "0", 1.0).prefix == "I"
+        assert VoltageSource("V1", "a", "0", 1.0).prefix == "V"
+
+
+class TestMutualInductance:
+    def test_basic(self):
+        m = MutualInductance("K1", "L1", "L2", 0.5)
+        assert m.is_coefficient
+        assert m.nodes == ()
+
+    def test_coefficient_magnitude_bound(self):
+        with pytest.raises(CircuitError, match=r"\|k\| < 1"):
+            MutualInductance("K1", "L1", "L2", 1.0)
+
+    def test_raw_mutual_any_magnitude(self):
+        m = MutualInductance("K1", "L1", "L2", 5e-9, is_coefficient=False)
+        assert m.coupling == 5e-9
+
+    def test_self_coupling_rejected(self):
+        with pytest.raises(CircuitError, match="itself"):
+            MutualInductance("K1", "L1", "L1", 0.5)
+
+
+class TestPort:
+    def test_default_ground_return(self):
+        p = Port("in", "a")
+        assert p.nodes == ("a", "0")
+
+    def test_coincident_terminals_rejected(self):
+        with pytest.raises(CircuitError, match="coincide"):
+            Port("in", "a", "a")
+
+    def test_frozen(self):
+        p = Port("in", "a")
+        with pytest.raises(Exception):
+            p.node_pos = "b"

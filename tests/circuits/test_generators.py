@@ -1,0 +1,172 @@
+"""Unit tests for the synthetic circuit generators."""
+
+import pytest
+
+import repro
+from repro.circuits.validate import check_passive, validate_netlist
+from repro.errors import CircuitError
+
+
+class TestRCLadder:
+    def test_counts(self):
+        net = repro.rc_ladder(10)
+        s = net.stats()
+        assert s["resistors"] == 10
+        assert s["capacitors"] == 10
+        assert s["nodes"] == 11
+        assert s["ports"] == 1
+
+    def test_two_port(self):
+        net = repro.rc_ladder(5, port_at_far_end=True)
+        assert net.port_names == ["in", "out"]
+
+    def test_validates(self):
+        validate_netlist(repro.rc_ladder(8))
+
+    def test_bad_size(self):
+        with pytest.raises(CircuitError):
+            repro.rc_ladder(0)
+
+
+class TestRCTree:
+    def test_size_grows_with_depth(self):
+        n2 = repro.rc_tree(2).num_nodes
+        n3 = repro.rc_tree(3).num_nodes
+        assert n3 > n2 > 1
+
+    def test_leaf_ports(self):
+        net = repro.rc_tree(3, ports_at_leaves=2)
+        assert len(net.ports) == 3  # root + 2 leaves
+
+    def test_validates(self):
+        validate_netlist(repro.rc_tree(3))
+
+
+class TestRCMesh:
+    def test_counts(self):
+        net = repro.rc_mesh(4, 5)
+        s = net.stats()
+        assert s["nodes"] == 20
+        assert s["capacitors"] == 20
+        # horizontal: 4*(5-1), vertical: (4-1)*5
+        assert s["resistors"] == 16 + 15
+        assert s["ports"] == 4
+
+    def test_too_small(self):
+        with pytest.raises(CircuitError):
+            repro.rc_mesh(1, 5)
+
+
+class TestCoupledRCBus:
+    def test_paper_scale_defaults(self):
+        net = repro.coupled_rc_bus()
+        s = net.stats()
+        # paper: 1350 nodes, 1355 R, 36620 C, 17 ports
+        assert 1300 <= s["nodes"] <= 1400
+        assert 1300 <= s["resistors"] <= 1400
+        assert 30000 <= s["capacitors"] <= 40000
+        assert s["ports"] == 17
+
+    def test_small_instance_validates(self):
+        validate_netlist(repro.coupled_rc_bus(4, 6))
+
+    def test_coupling_decay(self):
+        net = repro.coupled_rc_bus(3, 2, coupling_capacitance=8e-15,
+                                   coupling_decay=1.0, couple_diagonal=False)
+        # wires 0-1 coupling c, wires 0-2 coupling c/2
+        near = [c for c in net.capacitors if c.value == pytest.approx(8e-15)]
+        far = [c for c in net.capacitors if c.value == pytest.approx(4e-15)]
+        assert near and far
+
+    def test_needs_two_wires(self):
+        with pytest.raises(CircuitError):
+            repro.coupled_rc_bus(1, 5)
+
+
+class TestRLCLine:
+    def test_kind(self):
+        assert repro.rlc_line(4).classify() == "RLC"
+
+    def test_validates(self):
+        validate_netlist(repro.rlc_line(4))
+
+
+class TestPEECLikeLC:
+    def test_kind_and_ports(self):
+        net = repro.peec_like_lc(20)
+        assert net.classify() == "LC"
+        assert len(net.ports) == 1
+
+    def test_inductance_matrix_positive_definite(self):
+        # the coupling budget must keep script-L PD
+        check_passive(repro.peec_like_lc(40, coupling_radius=10))
+
+    def test_deterministic(self):
+        a = repro.peec_like_lc(15, seed=3)
+        b = repro.peec_like_lc(15, seed=3)
+        assert [e.name for e in a] == [e.name for e in b]
+        assert [getattr(e, "value", 0) for e in a] == [
+            getattr(e, "value", 0) for e in b
+        ]
+
+    def test_g_singular_needs_shift(self):
+        # no DC path to ground: the lc-form G is singular
+        import numpy as np
+
+        system = repro.assemble_mna(repro.peec_like_lc(12))
+        g = system.G.toarray()
+        assert np.linalg.matrix_rank(g) < g.shape[0]
+
+
+class TestPackageModel:
+    def test_paper_scale_defaults(self):
+        net = repro.package_model()
+        system = repro.assemble_mna(net)
+        # paper: about 4000 elements, MNA size about 2000, 16 ports
+        assert 1500 <= system.size <= 3000
+        assert len(net.ports) == 16
+        total = sum(net.stats()[k] for k in ("resistors", "capacitors",
+                                             "inductors", "mutuals"))
+        assert 3000 <= total <= 6500
+
+    def test_port_names(self):
+        net = repro.package_model(n_pins=8, n_signal=2, n_sections=3)
+        assert "pin0_ext" in net.port_names
+        assert "pin0_int" in net.port_names
+        assert len(net.ports) == 4
+
+    def test_true_rlc(self):
+        net = repro.package_model(n_pins=8, n_signal=2, n_sections=3)
+        assert net.classify() == "RLC"
+        assert repro.assemble_mna(net).formulation == "mna"
+
+    def test_passive(self):
+        check_passive(repro.package_model(n_pins=8, n_signal=2, n_sections=4))
+
+    def test_signal_count_bounds(self):
+        with pytest.raises(CircuitError):
+            repro.package_model(n_pins=8, n_signal=9)
+
+
+class TestRandomPassive:
+    @pytest.mark.parametrize("kind", ["RC", "RL", "LC", "RLC", "R"])
+    def test_classify_matches_kind(self, kind):
+        net = repro.random_passive(kind, 15, seed=1)
+        assert net.classify() == kind
+
+    def test_validates(self):
+        for seed in range(4):
+            validate_netlist(repro.random_passive("RC", 10, seed=seed))
+
+    def test_deterministic(self):
+        a = repro.random_passive("RLC", 10, seed=5)
+        b = repro.random_passive("RLC", 10, seed=5)
+        assert [e.name for e in a] == [e.name for e in b]
+
+    def test_bad_kind(self):
+        with pytest.raises(CircuitError):
+            repro.random_passive("RX", 5)
+
+    def test_port_count(self):
+        net = repro.random_passive("RC", 10, seed=0, n_ports=3)
+        assert len(net.ports) == 3

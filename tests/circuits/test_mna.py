@@ -1,0 +1,174 @@
+"""Unit tests for MNA assembly: structure, symmetry, and known answers."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits.mna import assemble_mna
+from repro.errors import AssemblyError
+from repro.linalg.utils import is_positive_semidefinite, is_symmetric
+
+from ..conftest import dense_impedance
+
+
+def single_element_net(kind: str):
+    net = repro.Netlist()
+    net.port("p", "a")
+    if kind == "R":
+        net.resistor("R1", "a", "0", 50.0)
+    elif kind == "C":
+        net.capacitor("C1", "a", "0", 2e-12)
+    elif kind == "L":
+        net.inductor("L1", "a", "0", 3e-9)
+    return net
+
+
+class TestKnownImpedances:
+    """Analytic single-element answers through every formulation."""
+
+    def test_resistor(self):
+        system = assemble_mna(single_element_net("R"))
+        z = dense_impedance(system, 1j * 1e9)[0, 0, 0]
+        assert z == pytest.approx(50.0)
+
+    def test_capacitor_via_rc_form(self):
+        system = assemble_mna(single_element_net("C"))
+        assert system.formulation == "rc"
+        s = 1j * 1e9
+        z = dense_impedance(system, s)[0, 0, 0]
+        assert z == pytest.approx(1.0 / (s * 2e-12))
+
+    def test_inductor_via_rl_form(self):
+        system = assemble_mna(single_element_net("L"))
+        assert system.formulation == "rl"
+        s = 1j * 1e9
+        z = dense_impedance(system, s)[0, 0, 0]
+        assert z == pytest.approx(s * 3e-9)
+
+    def test_inductor_via_general_mna(self):
+        system = assemble_mna(single_element_net("L"), "mna")
+        s = 1j * 1e9
+        z = dense_impedance(system, s)[0, 0, 0]
+        assert z == pytest.approx(s * 3e-9)
+
+    def test_series_rlc_general_mna(self):
+        net = repro.Netlist()
+        net.port("p", "a")
+        net.resistor("R1", "a", "b", 2.0)
+        net.inductor("L1", "b", "c", 1e-9)
+        net.capacitor("C1", "c", "0", 1e-12)
+        system = assemble_mna(net)
+        assert system.formulation == "mna"
+        s = 1j * 3e9
+        z = dense_impedance(system, s)[0, 0, 0]
+        assert z == pytest.approx(2.0 + s * 1e-9 + 1.0 / (s * 1e-12))
+
+    def test_lc_tank_via_lc_form(self):
+        net = repro.Netlist()
+        net.port("p", "a")
+        net.inductor("L1", "a", "0", 1e-9)
+        net.capacitor("C1", "a", "0", 1e-12)
+        system = assemble_mna(net)
+        assert system.formulation == "lc"
+        s = 1j * 3e9
+        z = dense_impedance(system, s)[0, 0, 0]
+        expected = 1.0 / (1.0 / (s * 1e-9) + s * 1e-12)
+        assert z == pytest.approx(expected)
+
+    def test_lc_vs_general_mna_agree(self):
+        lc = repro.Netlist()
+        lc.port("in", "x0")
+        for k in range(6):
+            lc.inductor(f"L{k}", f"x{k}", f"x{k + 1}", 1e-9)
+            lc.capacitor(f"C{k}", f"x{k + 1}", "0", 1e-12)
+        sys_lc = assemble_mna(lc, "lc")
+        sys_mna = assemble_mna(lc, "mna")
+        s = 1j * np.logspace(8.5, 10, 17)
+        z1 = dense_impedance(sys_lc, s)
+        z2 = dense_impedance(sys_mna, s)
+        assert np.abs(z1 - z2).max() / np.abs(z2).max() < 1e-10
+
+    def test_rl_vs_general_mna_agree(self):
+        net = repro.Netlist()
+        net.port("in", "a")
+        net.resistor("R1", "a", "b", 5.0)
+        net.inductor("L1", "b", "c", 1e-9)
+        net.resistor("R2", "c", "0", 10.0)
+        net.inductor("L2", "c", "0", 2e-9)
+        sys_rl = assemble_mna(net, "rl")
+        sys_mna = assemble_mna(net, "mna")
+        s = 1j * np.logspace(8, 11, 13)
+        z1 = dense_impedance(sys_rl, s)
+        z2 = dense_impedance(sys_mna, s)
+        assert np.abs(z1 - z2).max() / np.abs(z2).max() < 1e-10
+
+
+class TestStructure:
+    def test_auto_formulation_per_class(self):
+        cases = {
+            "R": "rc", "C": "rc", "L": "rl",
+        }
+        for kind, expected in cases.items():
+            assert assemble_mna(single_element_net(kind)).formulation == expected
+
+    def test_symmetry_all_formulations(self, rc_two_port, rlc_system, lc_system):
+        for system in (repro.assemble_mna(rc_two_port), rlc_system, lc_system):
+            assert is_symmetric(system.G)
+            assert is_symmetric(system.C)
+
+    def test_psd_special_forms(self, rc_two_port, lc_system):
+        rc = repro.assemble_mna(rc_two_port)
+        assert rc.psd_guaranteed
+        assert is_positive_semidefinite(rc.G)
+        assert is_positive_semidefinite(rc.C)
+        assert lc_system.psd_guaranteed
+        assert is_positive_semidefinite(lc_system.G)
+        assert is_positive_semidefinite(lc_system.C)
+
+    def test_mna_form_not_guaranteed(self, rlc_system):
+        assert rlc_system.formulation == "mna"
+        assert not rlc_system.psd_guaranteed
+
+    def test_b_matrix_shape_and_pattern(self, rc_two_port_system):
+        b = rc_two_port_system.B
+        assert b.shape == (rc_two_port_system.size, 2)
+        assert set(np.unique(b)) <= {0.0, 1.0, -1.0}
+        assert np.abs(b).sum(axis=0) == pytest.approx([1.0, 1.0])
+
+    def test_state_labels(self, rlc_system):
+        labels = rlc_system.state_labels
+        assert len(labels) == rlc_system.size
+        assert labels[0].startswith("v(")
+        assert labels[-1].startswith("i(")
+
+    def test_shifted_g(self, rc_two_port_system):
+        g0 = rc_two_port_system.shifted_g(0.0)
+        assert (g0 != rc_two_port_system.G).nnz == 0
+        g1 = rc_two_port_system.shifted_g(1e9)
+        diff = g1 - rc_two_port_system.G - 1e9 * rc_two_port_system.C
+        assert abs(diff).max() < 1e-6
+
+
+class TestErrors:
+    def test_no_ports(self):
+        net = repro.Netlist()
+        net.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(AssemblyError, match="no ports"):
+            assemble_mna(net)
+
+    def test_voltage_source_rejected(self):
+        net = repro.Netlist()
+        net.resistor("R1", "a", "0", 1.0)
+        net.vsource("V1", "a", "0", 1.0)
+        net.port("p", "a")
+        with pytest.raises(AssemblyError, match="Norton"):
+            assemble_mna(net)
+
+    def test_forced_formulation_mismatch(self):
+        net = single_element_net("L")
+        with pytest.raises(AssemblyError, match='"rc" forced'):
+            assemble_mna(net, "rc")
+
+    def test_unknown_formulation(self):
+        with pytest.raises(AssemblyError, match="unknown formulation"):
+            assemble_mna(single_element_net("R"), "bogus")

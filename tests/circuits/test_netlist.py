@@ -1,0 +1,117 @@
+"""Unit tests for the Netlist container."""
+
+import pytest
+
+from repro.circuits.elements import Resistor
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+
+@pytest.fixture
+def simple_net():
+    net = Netlist("t")
+    net.resistor("R1", "a", "b", 10.0)
+    net.capacitor("C1", "b", "0", 1e-12)
+    net.inductor("L1", "b", "c", 1e-9)
+    net.inductor("L2", "c", "0", 1e-9)
+    net.mutual("K1", "L1", "L2", 0.3)
+    net.isource("I1", "a", "0", 1e-3)
+    net.port("p0", "a")
+    return net
+
+
+class TestAdd:
+    def test_duplicate_name_rejected(self, simple_net):
+        with pytest.raises(CircuitError, match="duplicate"):
+            simple_net.resistor("R1", "x", "y", 1.0)
+
+    def test_mutual_requires_existing_inductors(self):
+        net = Netlist()
+        net.inductor("L1", "a", "0", 1e-9)
+        with pytest.raises(CircuitError, match="unknown inductor"):
+            net.mutual("K1", "L1", "L9", 0.5)
+
+    def test_mutual_rejects_non_inductor_reference(self):
+        net = Netlist()
+        net.resistor("L1", "a", "b", 1.0)  # name clash with prefix L
+        net.inductor("L2", "b", "0", 1e-9)
+        with pytest.raises(CircuitError, match="unknown inductor"):
+            net.mutual("K1", "L1", "L2", 0.5)
+
+    def test_extend(self):
+        net = Netlist()
+        net.extend([Resistor(f"R{i}", f"n{i}", "0", 1.0) for i in range(3)])
+        assert len(net) == 3
+
+
+class TestQueries:
+    def test_element_lists(self, simple_net):
+        assert [r.name for r in simple_net.resistors] == ["R1"]
+        assert [c.name for c in simple_net.capacitors] == ["C1"]
+        assert [i.name for i in simple_net.inductors] == ["L1", "L2"]
+        assert [m.name for m in simple_net.mutuals] == ["K1"]
+        assert [s.name for s in simple_net.current_sources] == ["I1"]
+        assert simple_net.port_names == ["p0"]
+
+    def test_node_order_is_first_seen(self, simple_net):
+        assert simple_net.nodes == ["a", "b", "c"]
+        assert simple_net.num_nodes == 3
+
+    def test_ground_not_a_node(self, simple_net):
+        assert "0" not in simple_net.nodes
+
+    def test_getitem(self, simple_net):
+        assert simple_net["R1"].value == 10.0
+        with pytest.raises(CircuitError, match="no element"):
+            simple_net["nope"]
+
+    def test_contains(self, simple_net):
+        assert "R1" in simple_net
+        assert "Rx" not in simple_net
+
+    def test_iteration_order(self, simple_net):
+        names = [e.name for e in simple_net]
+        assert names == ["R1", "C1", "L1", "L2", "K1", "I1", "p0"]
+
+    def test_node_index_deterministic(self, simple_net):
+        assert simple_net.node_index() == {"a": 0, "b": 1, "c": 2}
+
+
+class TestClassify:
+    def test_rlc(self, simple_net):
+        assert simple_net.classify() == "RLC"
+
+    @pytest.mark.parametrize(
+        "adders,expected",
+        [
+            (["resistor"], "R"),
+            (["capacitor"], "C"),
+            (["inductor"], "L"),
+            (["resistor", "capacitor"], "RC"),
+            (["resistor", "inductor"], "RL"),
+            (["inductor", "capacitor"], "LC"),
+        ],
+    )
+    def test_classes(self, adders, expected):
+        net = Netlist()
+        values = {"resistor": 1.0, "capacitor": 1e-12, "inductor": 1e-9}
+        for k, kind in enumerate(adders):
+            getattr(net, kind)(f"E{k}", f"n{k}", "0", values[kind])
+        assert net.classify() == expected
+
+    def test_empty(self):
+        assert Netlist().classify() == "empty"
+
+    def test_sources_ignored(self):
+        net = Netlist()
+        net.isource("I1", "a", "0", 1.0)
+        net.port("p", "a")
+        assert net.classify() == "empty"
+
+    def test_stats(self, simple_net):
+        s = simple_net.stats()
+        assert s["nodes"] == 3
+        assert s["resistors"] == 1
+        assert s["inductors"] == 2
+        assert s["mutuals"] == 1
+        assert s["ports"] == 1

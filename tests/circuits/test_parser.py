@@ -1,0 +1,119 @@
+"""Unit tests for the SPICE-subset parser and writer."""
+
+import pytest
+
+from repro.circuits.parser import format_value, parse_netlist, parse_value, write_netlist
+from repro.errors import NetlistParseError
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("100", 100.0),
+            ("2.2k", 2.2e3),
+            ("100n", 1e-7),
+            ("1MEG", 1e6),
+            ("1meg", 1e6),
+            ("3.3u", 3.3e-6),
+            ("1p", 1e-12),
+            ("2f", 2e-15),
+            ("1.5e-12", 1.5e-12),
+            ("-4m", -4e-3),
+            ("100nF", 1e-7),  # trailing unit letters ignored
+            ("5g", 5e9),
+            ("2t", 2e12),
+        ],
+    )
+    def test_values(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(NetlistParseError):
+            parse_value("abc")
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(NetlistParseError, match="suffix"):
+            parse_value("1q")
+
+
+class TestParseNetlist:
+    def test_full_deck(self):
+        text = """
+        .TITLE test circuit
+        * a comment
+        R1 in mid 1k   ; trailing comment
+        C1 mid 0 1p
+        L1 mid out 2n
+        L2 out 0 2n
+        K1 L1 L2 0.4
+        I1 in 0 1m
+        V1 drv 0 5
+        .PORT p0 in
+        .PORT p1 out 0
+        .END
+        """
+        net = parse_netlist(text)
+        assert net.title == "test circuit"
+        assert net["R1"].value == pytest.approx(1e3)
+        assert net["C1"].value == pytest.approx(1e-12)
+        assert net["K1"].coupling == pytest.approx(0.4)
+        assert net["I1"].value == pytest.approx(1e-3)
+        assert net["V1"].value == pytest.approx(5.0)
+        assert net.port_names == ["p0", "p1"]
+
+    def test_end_stops_parsing(self):
+        net = parse_netlist("R1 a 0 1\n.END\nR2 b 0 1\n")
+        assert "R2" not in net
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(NetlistParseError, match="line 2"):
+            parse_netlist("R1 a 0 1\nR2 a 0\n")
+
+    def test_unknown_card(self):
+        with pytest.raises(NetlistParseError, match="unknown card"):
+            parse_netlist("Q1 a b c\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(NetlistParseError, match="unsupported directive"):
+            parse_netlist(".TRAN 1n 10n\n")
+
+    def test_element_validation_surfaces_with_line(self):
+        with pytest.raises(NetlistParseError, match="line 1"):
+            parse_netlist("R1 a a 1k\n")
+
+    def test_port_arity(self):
+        with pytest.raises(NetlistParseError, match=".PORT"):
+            parse_netlist(".PORT p\n")
+
+    def test_source_default_value(self):
+        net = parse_netlist("I1 a 0\n")
+        assert net["I1"].value == 0.0
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        text = (
+            ".TITLE rt\n"
+            "R1 a b 1000.0\nC1 b 0 1e-12\nL1 b c 1e-09\nL2 c 0 1e-09\n"
+            "K1 L1 L2 0.25\nI1 a 0 0.001\n.PORT p0 a 0\n.END\n"
+        )
+        net = parse_netlist(text)
+        net2 = parse_netlist(write_netlist(net))
+        assert len(net) == len(net2)
+        for e1, e2 in zip(net, net2):
+            assert e1 == e2
+
+    def test_raw_mutual_not_serializable(self):
+        from repro.circuits.netlist import Netlist
+
+        net = Netlist()
+        net.inductor("L1", "a", "b", 1e-9)
+        net.inductor("L2", "b", "0", 1e-9)
+        net.mutual("K1", "L1", "L2", 1e-10, is_coefficient=False)
+        with pytest.raises(NetlistParseError, match="raw mutual"):
+            write_netlist(net)
+
+    def test_format_value_round_trips(self):
+        for v in (1.0, -2.5e-13, 3.14159e9, 7e-15):
+            assert float(format_value(v)) == v

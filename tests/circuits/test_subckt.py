@@ -1,0 +1,129 @@
+"""Unit tests for .SUBCKT support in the parser."""
+
+import pytest
+
+import repro
+from repro.circuits.parser import parse_netlist
+from repro.errors import NetlistParseError
+
+
+DECK = """
+.SUBCKT rcseg a b
+R1 a mid 100
+C1 mid 0 1p
+R2 mid b 100
+.ENDS
+Xseg in out rcseg
+Rload out 0 1k
+.PORT p0 in
+"""
+
+
+class TestBasicExpansion:
+    def test_flattening(self):
+        net = parse_netlist(DECK)
+        assert "Xseg.R1" in net
+        assert "Xseg.C1" in net
+        assert net["Xseg.R1"].node_pos == "in"   # formal a -> actual in
+        assert net["Xseg.R2"].node_neg == "out"  # formal b -> actual out
+        assert "Xseg.mid" in net.nodes           # internal node scoped
+
+    def test_ground_passes_through(self):
+        net = parse_netlist(DECK)
+        assert net["Xseg.C1"].node_neg == "0"
+
+    def test_multiple_instances_are_independent(self):
+        deck = DECK.replace("Rload out 0 1k",
+                            "Xseg2 out far rcseg\nRload far 0 1k")
+        net = parse_netlist(deck)
+        assert "Xseg.mid" in net.nodes
+        assert "Xseg2.mid" in net.nodes
+        assert net["Xseg2.R1"].node_pos == "out"
+
+    def test_assembles_and_simulates(self):
+        net = parse_netlist(DECK)
+        system = repro.assemble_mna(net)
+        assert system.size == net.num_nodes
+
+
+class TestNesting:
+    def test_nested_instantiation(self):
+        deck = """
+        .SUBCKT leaf a b
+        R1 a b 10
+        .ENDS
+        .SUBCKT pair x y
+        X1 x m leaf
+        X2 m y leaf
+        .ENDS
+        Xtop in 0 pair
+        .PORT p in
+        """
+        net = parse_netlist(deck)
+        assert "Xtop.X1.R1" in net
+        assert "Xtop.X2.R1" in net
+        # two 10-ohm resistors in series to ground
+        system = repro.assemble_mna(net)
+        import numpy as np
+
+        g = system.G.toarray()
+        z = system.B.T @ np.linalg.solve(g, system.B)
+        assert z[0, 0] == pytest.approx(20.0)
+
+    def test_mutual_inside_subckt(self):
+        deck = """
+        .SUBCKT coupled a b
+        L1 a 0 1n
+        L2 b 0 1n
+        K1 L1 L2 0.5
+        .ENDS
+        Xc p q coupled
+        .PORT port p
+        """
+        net = parse_netlist(deck)
+        k = net["Xc.K1"]
+        assert k.inductor_a == "Xc.L1"
+
+    def test_recursive_definition_guarded(self):
+        deck = """
+        .SUBCKT loop a
+        X1 a loop
+        .ENDS
+        Xtop n loop
+        .PORT p n
+        """
+        with pytest.raises(NetlistParseError, match="nesting deeper"):
+            parse_netlist(deck)
+
+
+class TestErrors:
+    def test_unknown_subckt(self):
+        with pytest.raises(NetlistParseError, match="unknown subcircuit"):
+            parse_netlist("X1 a b nosuch\n")
+
+    def test_terminal_count_mismatch(self):
+        deck = ".SUBCKT s a b\nR1 a b 1\n.ENDS\nX1 only s\n"
+        with pytest.raises(NetlistParseError, match="terminals"):
+            parse_netlist(deck)
+
+    def test_unclosed_definition(self):
+        with pytest.raises(NetlistParseError, match="never closed"):
+            parse_netlist(".SUBCKT s a b\nR1 a b 1\n")
+
+    def test_ends_without_subckt(self):
+        with pytest.raises(NetlistParseError, match="without"):
+            parse_netlist(".ENDS\n")
+
+    def test_textual_nesting_rejected(self):
+        deck = ".SUBCKT s a\n.SUBCKT t b\n.ENDS\n.ENDS\n"
+        with pytest.raises(NetlistParseError, match="cannot nest"):
+            parse_netlist(deck)
+
+    def test_port_inside_subckt_rejected(self):
+        deck = ".SUBCKT s a\n.PORT p a\n.ENDS\n"
+        with pytest.raises(NetlistParseError, match="not allowed inside"):
+            parse_netlist(deck)
+
+    def test_x_without_enough_tokens(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist("X1 s\n")

@@ -1,0 +1,89 @@
+"""Unit tests for incidence matrices and graph checks."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.topology import (
+    build_incidence,
+    check_grounded,
+    connected_components,
+)
+from repro.errors import TopologyError
+
+
+@pytest.fixture
+def net():
+    n = Netlist()
+    n.resistor("R1", "a", "b", 10.0)
+    n.resistor("R2", "b", "0", 20.0)
+    n.capacitor("C1", "a", "0", 1e-12)
+    n.inductor("L1", "a", "b", 1e-9)
+    n.inductor("L2", "b", "0", 2e-9)
+    n.mutual("K1", "L1", "L2", 0.5)
+    n.port("p", "a")
+    return n
+
+
+class TestIncidence:
+    def test_shapes(self, net):
+        inc = build_incidence(net)
+        assert inc.a_g.shape == (2, 2)
+        assert inc.a_c.shape == (1, 2)
+        assert inc.a_l.shape == (2, 2)
+        assert inc.a_p.shape == (1, 2)
+
+    def test_signs(self, net):
+        inc = build_incidence(net)
+        a_g = inc.a_g.toarray()
+        # R1: a(+1) -> b(-1); R2: b(+1) -> ground (omitted)
+        assert a_g[0].tolist() == [1.0, -1.0]
+        assert a_g[1].tolist() == [0.0, 1.0]
+
+    def test_branch_values(self, net):
+        inc = build_incidence(net)
+        assert inc.conductances == pytest.approx([0.1, 0.05])
+        assert inc.capacitances == pytest.approx([1e-12])
+
+    def test_inductance_matrix_with_mutual(self, net):
+        inc = build_incidence(net)
+        lmat = inc.inductance.toarray()
+        m = 0.5 * np.sqrt(1e-9 * 2e-9)
+        assert lmat == pytest.approx(np.array([[1e-9, m], [m, 2e-9]]))
+
+    def test_raw_mutual_value(self):
+        n = Netlist()
+        n.inductor("L1", "a", "0", 1e-9)
+        n.inductor("L2", "b", "0", 1e-9)
+        n.mutual("K1", "L1", "L2", 3e-10, is_coefficient=False)
+        n.port("p", "a")
+        lmat = build_incidence(n).inductance.toarray()
+        assert lmat[0, 1] == pytest.approx(3e-10)
+
+    def test_empty_netlist_raises(self):
+        with pytest.raises(TopologyError, match="no non-datum"):
+            build_incidence(Netlist())
+
+
+class TestGraphChecks:
+    def test_connected(self, net):
+        comps = connected_components(net)
+        assert len(comps) == 1
+        assert comps[0] == {"0", "a", "b"}
+
+    def test_grounded_ok(self, net):
+        check_grounded(net)
+
+    def test_floating_node_detected(self):
+        n = Netlist()
+        n.resistor("R1", "a", "0", 1.0)
+        n.resistor("R2", "x", "y", 1.0)  # island
+        with pytest.raises(TopologyError, match="no path to ground"):
+            check_grounded(n)
+
+    def test_source_only_connection(self):
+        n = Netlist()
+        n.isource("I1", "a", "0", 1.0)
+        check_grounded(n)  # counts by default
+        with pytest.raises(TopologyError):
+            check_grounded(n, through_passives_only=True)

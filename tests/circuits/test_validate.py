@@ -1,0 +1,79 @@
+"""Unit tests for netlist validation."""
+
+import pytest
+
+import repro
+from repro.circuits.validate import check_passive, check_reducible, validate_netlist
+from repro.errors import CircuitError, TopologyError
+
+
+class TestCheckPassive:
+    def test_positive_circuit_ok(self):
+        check_passive(repro.rc_ladder(5))
+
+    def test_negative_resistor_flagged(self):
+        net = repro.Netlist()
+        net.resistor("R1", "a", "0", -1.0)
+        with pytest.raises(CircuitError, match="R1"):
+            check_passive(net)
+
+    def test_negative_capacitor_flagged(self):
+        net = repro.Netlist()
+        net.capacitor("C1", "a", "0", -1e-12)
+        with pytest.raises(CircuitError, match="C1"):
+            check_passive(net)
+
+    def test_overcoupled_inductors_flagged(self):
+        net = repro.Netlist()
+        net.inductor("L1", "a", "0", 1e-9)
+        net.inductor("L2", "b", "0", 1e-9)
+        net.inductor("L3", "c", "0", 1e-9)
+        # pairwise 0.9 coupling among three inductors is not PD
+        net.mutual("K1", "L1", "L2", 0.9)
+        net.mutual("K2", "L2", "L3", 0.9)
+        net.mutual("K3", "L1", "L3", -0.9)
+        with pytest.raises(CircuitError, match="positive definite"):
+            check_passive(net)
+
+
+class TestCheckReducible:
+    def test_ok(self):
+        check_reducible(repro.rc_ladder(3))
+
+    def test_no_ports(self):
+        net = repro.Netlist()
+        net.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(CircuitError, match="no ports"):
+            check_reducible(net)
+
+    def test_voltage_source(self):
+        net = repro.rc_ladder(3)
+        net.vsource("V1", "n1", "0", 1.0)
+        with pytest.raises(CircuitError, match="Norton"):
+            check_reducible(net)
+
+    def test_dangling_port(self):
+        net = repro.Netlist()
+        net.resistor("R1", "a", "0", 1.0)
+        net.port("p", "zzz")
+        with pytest.raises(TopologyError, match="zzz"):
+            check_reducible(net)
+
+
+class TestValidateNetlist:
+    def test_full_suite_ok(self):
+        validate_netlist(repro.rc_mesh(3, 3))
+
+    def test_floating_island(self):
+        net = repro.rc_ladder(3)
+        net.resistor("Rx", "islandA", "islandB", 1.0)
+        with pytest.raises(TopologyError):
+            validate_netlist(net)
+
+    def test_passivity_optional(self):
+        net = repro.Netlist()
+        net.resistor("R1", "a", "0", -1.0)
+        net.port("p", "a")
+        validate_netlist(net, require_passive=False)
+        with pytest.raises(CircuitError):
+            validate_netlist(net)

@@ -1,0 +1,63 @@
+"""Shared fixtures and oracles for the test suite.
+
+The key oracle is :func:`dense_impedance`: a dense-numpy evaluation of
+the exact physical impedance, independent of the library's sparse AC
+path, used to validate every reduction and simulation result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def dense_impedance(system, s_values):
+    """Exact ``Z(s)`` by dense solves (independent oracle)."""
+    s_values = np.atleast_1d(np.asarray(s_values))
+    g = system.G.toarray()
+    c = system.C.toarray()
+    b = system.B
+    sigma = np.atleast_1d(system.transfer.sigma(s_values))
+    pref = np.atleast_1d(np.asarray(system.transfer.prefactor(s_values)))
+    if pref.size == 1:
+        pref = np.full(s_values.size, pref.ravel()[0])
+    out = np.empty((s_values.size, b.shape[1], b.shape[1]), dtype=complex)
+    for k in range(s_values.size):
+        out[k] = pref[k] * (b.T @ np.linalg.solve(g + sigma[k] * c, b))
+    return out
+
+
+def rel_err(approx, exact):
+    """Global-max-normalized error, the suite's standard metric."""
+    exact = np.asarray(exact)
+    scale = np.abs(exact).max()
+    return float(np.abs(np.asarray(approx) - exact).max() / scale)
+
+
+@pytest.fixture
+def rc_two_port():
+    """Grounded 2-port RC ladder (nonsingular G, sigma0 = 0 valid)."""
+    net = repro.rc_ladder(25, port_at_far_end=True)
+    net.resistor("Rload", "n26", "0", 2.0e3)
+    return net
+
+
+@pytest.fixture
+def rc_two_port_system(rc_two_port):
+    return repro.assemble_mna(rc_two_port)
+
+
+@pytest.fixture
+def rlc_system():
+    """General RLC MNA system (indefinite matrices)."""
+    net = repro.rlc_line(12)
+    net.resistor("Rterm", f"x12", "0", 50.0)
+    return repro.assemble_mna(net)
+
+
+@pytest.fixture
+def lc_system():
+    """Small PEEC-like LC system (singular G, needs a shift)."""
+    return repro.assemble_mna(repro.peec_like_lc(18))

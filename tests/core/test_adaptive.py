@@ -1,0 +1,79 @@
+"""Unit tests for the adaptive-order driver."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.adaptive import sympvl_adaptive
+from repro.errors import ReductionError
+
+from ..conftest import dense_impedance, rel_err
+
+
+class TestAdaptive:
+    def test_converges_and_is_accurate(self, rc_two_port_system):
+        result = sympvl_adaptive(
+            rc_two_port_system, [1e7, 1e10], tol=1e-5, shift=0.0
+        )
+        assert result.converged
+        s = 1j * np.logspace(7, 10, 20)
+        exact = dense_impedance(rc_two_port_system, s)
+        assert rel_err(result.model.impedance(s), exact) < 1e-4
+
+    def test_history_is_monotone_in_order(self, rc_two_port_system):
+        result = sympvl_adaptive(
+            rc_two_port_system, [1e7, 1e10], tol=1e-6, shift=0.0
+        )
+        orders = [order for order, _ in result.history]
+        assert orders == sorted(orders)
+        assert result.history[0][1] == np.inf
+
+    def test_tight_tolerance_needs_higher_order(self, rc_two_port_system):
+        loose = sympvl_adaptive(
+            rc_two_port_system, [1e7, 1e10], tol=1e-2, shift=0.0
+        )
+        tight = sympvl_adaptive(
+            rc_two_port_system, [1e7, 1e10], tol=1e-8, shift=0.0
+        )
+        assert tight.order >= loose.order
+
+    def test_max_order_cap(self, rc_two_port_system):
+        result = sympvl_adaptive(
+            rc_two_port_system, [1e7, 1e10], tol=1e-14, shift=0.0,
+            max_order=6,
+        )
+        assert result.order <= 6
+
+    def test_exhaustion_counts_as_converged(self):
+        net = repro.rc_ladder(6)
+        net.resistor("Rg", "n7", "0", 100.0)
+        system = repro.assemble_mna(net)
+        result = sympvl_adaptive(
+            system, [1e7, 1e10], tol=1e-14, shift=0.0, max_order=50
+        )
+        assert result.converged  # Krylov space exhausted => exact
+
+    def test_step_override(self, rc_two_port_system):
+        result = sympvl_adaptive(
+            rc_two_port_system, [1e7, 1e10], tol=1e-5, shift=0.0, step=4
+        )
+        orders = [order for order, _ in result.history]
+        if len(orders) > 1:
+            assert orders[1] - orders[0] == 4
+
+    def test_bad_band_rejected(self, rc_two_port_system):
+        with pytest.raises(ReductionError, match="band"):
+            sympvl_adaptive(rc_two_port_system, [1e10, 1e7])
+        with pytest.raises(ReductionError, match="band"):
+            sympvl_adaptive(rc_two_port_system, [0.0, 1e7])
+
+    def test_bad_step_rejected(self, rc_two_port_system):
+        with pytest.raises(ReductionError, match="step"):
+            sympvl_adaptive(rc_two_port_system, [1e7, 1e10], step=0)
+
+    def test_lc_system_with_auto_shift(self, lc_system):
+        result = sympvl_adaptive(
+            lc_system, [2e9, 2e10], tol=1e-4
+        )
+        assert result.order >= 1
+        assert result.model.guaranteed_stable_passive

@@ -1,0 +1,90 @@
+"""Unit tests for the block-Arnoldi / PRIMA congruence baseline."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import prima, sympvl
+from repro.core.arnoldi import block_arnoldi_basis
+from repro.errors import ReductionError
+from repro.linalg.utils import is_positive_semidefinite
+
+from ..conftest import dense_impedance, rel_err
+
+
+class TestBasis:
+    def test_orthonormal(self, rc_two_port_system):
+        v = block_arnoldi_basis(rc_two_port_system, 10)
+        gram = v.T @ v
+        assert np.abs(gram - np.eye(v.shape[1])).max() < 1e-10
+
+    def test_spans_krylov(self, rc_two_port_system):
+        """The basis must reproduce the moments of the kernel."""
+        model = prima(rc_two_port_system, 10)
+        from repro.core import exact_moments, moment_match_count
+
+        exact = exact_moments(rc_two_port_system, 6, 0.0)
+        matched = moment_match_count(model.moments(6), exact)
+        # congruence guarantees floor(n/p) moments; symmetric systems do better
+        assert matched >= 10 // 2
+
+    def test_deflation_shrinks_basis(self):
+        net = repro.rc_ladder(8)
+        net.resistor("Rg", "n9", "0", 1.0)
+        net.port("dup", "n1")
+        system = repro.assemble_mna(net)
+        v = block_arnoldi_basis(system, 6)
+        assert v.shape[1] <= 6
+
+    def test_singular_g_rejected(self, lc_system):
+        with pytest.raises(ReductionError, match="singular"):
+            block_arnoldi_basis(lc_system, 4, sigma0=0.0)
+
+
+class TestPrima:
+    def test_psd_preserved_by_congruence(self, rc_two_port_system):
+        model = prima(rc_two_port_system, 12)
+        assert is_positive_semidefinite(model.gr)
+        assert is_positive_semidefinite(model.cr)
+
+    def test_stable_for_rc(self, rc_two_port_system):
+        model = prima(rc_two_port_system, 12)
+        assert model.is_stable()
+
+    def test_accuracy_matches_sympvl_on_symmetric_system(
+        self, rc_two_port_system
+    ):
+        """For SPD pencils one-sided congruence equals the two-sided
+        projection, so PRIMA attains the same matrix-Pade accuracy."""
+        s = 1j * np.logspace(7, 10, 20)
+        exact = dense_impedance(rc_two_port_system, s)
+        mp = prima(rc_two_port_system, 12)
+        ml = sympvl(rc_two_port_system, order=12, shift=0.0)
+        err_p = rel_err(mp.impedance(s), exact)
+        err_l = rel_err(ml.impedance(s), exact)
+        assert err_p < 10 * err_l + 1e-12
+
+    def test_lc_with_shift(self, lc_system):
+        from repro.core.sympvl import default_shift
+
+        sigma0 = default_shift(lc_system)
+        model = prima(lc_system, 16, sigma0=sigma0)
+        s = 1j * np.linspace(2e9, 2e10, 20)
+        exact = dense_impedance(lc_system, s)
+        assert rel_err(model.impedance(s), exact) < 5e-2
+
+    def test_shapes_and_metadata(self, rc_two_port_system):
+        model = prima(rc_two_port_system, 9)
+        assert model.order == model.gr.shape[0] <= 9
+        assert model.num_ports == 2
+        assert model.metadata["basis_size"] == model.order
+
+    def test_poles_in_left_half_plane_rc(self, rc_two_port_system):
+        model = prima(rc_two_port_system, 10)
+        poles = model.poles()
+        assert poles.real.max() <= 1e-6 * max(1.0, np.abs(poles).max())
+
+    def test_scalar_impedance_shape(self, rc_two_port_system):
+        model = prima(rc_two_port_system, 6)
+        assert model.impedance(1j * 1e9).shape == (2, 2)
+        assert model.kernel(np.array([1.0, 2.0])).shape == (2, 2, 2)

@@ -1,0 +1,86 @@
+"""Unit tests for the AWE explicit-moment baseline.
+
+The headline behavior (paper section 3.1): AWE matches the Lanczos
+route at low order but its Hankel systems become catastrophically
+ill-conditioned as the order grows.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import awe, exact_moments, sypvl
+from repro.errors import ReductionError
+
+from ..conftest import dense_impedance, rel_err
+
+
+@pytest.fixture
+def one_port():
+    net = repro.rc_ladder(20)
+    net.resistor("Rg", "n21", "0", 500.0)
+    return repro.assemble_mna(net)
+
+
+class TestAWE:
+    def test_low_order_matches_sypvl(self, one_port):
+        """At n <= 6 AWE and SyPVL compute the same Pade approximant."""
+        s = 1j * np.logspace(7, 10, 15)
+        model_a = awe(one_port, 5)
+        model_l = sypvl(one_port, order=5, shift=0.0)
+        za = model_a.impedance(s)
+        zl = model_l.impedance(s)[:, 0, 0]
+        assert rel_err(za, zl) < 1e-4
+
+    def test_moment_match(self, one_port):
+        n = 4
+        model = awe(one_port, n)
+        exact = exact_moments(one_port, 2 * n, 0.0)
+        # reconstruct AWE moments from pole-residue form
+        for k in range(2 * n):
+            m_awe = -np.sum(model.residues / model.poles ** (k + 1))
+            assert np.abs(m_awe - exact[k][0, 0]) < 1e-6 * abs(exact[k][0, 0])
+
+    def test_condition_number_explodes(self, one_port):
+        conditions = [awe(one_port, n).hankel_condition for n in (2, 5, 8)]
+        assert conditions[1] > 1e4 * conditions[0]
+        assert conditions[2] > 1e4 * conditions[1]
+
+    def test_high_order_breaks_down(self, one_port):
+        """Beyond n ~ 10 AWE either errors out or degrades/destabilizes
+        while SyPVL keeps converging (the paper's motivating claim)."""
+        s = 1j * np.logspace(7, 10, 25)
+        exact = dense_impedance(one_port, s)[:, 0, 0]
+        try:
+            model = awe(one_port, 14)
+        except ReductionError:
+            return  # singular Hankel counts as breakdown
+        err_awe = rel_err(model.impedance(s), exact)
+        err_lanczos = rel_err(
+            sypvl(one_port, order=14, shift=0.0).impedance(s)[:, 0, 0], exact
+        )
+        assert not model.is_stable() or err_awe > 100 * err_lanczos
+
+    def test_off_diagonal_entry(self, rc_two_port_system):
+        model = awe(rc_two_port_system, 4, entry=(0, 1))
+        s = 1j * np.logspace(7, 9, 9)
+        exact = dense_impedance(rc_two_port_system, s)[:, 0, 1]
+        assert rel_err(model.impedance(s), exact) < 1e-2
+
+    def test_precomputed_moments_accepted(self, one_port):
+        moments = exact_moments(one_port, 8, 0.0)
+        model = awe(one_port, 4, moments=moments)
+        assert model.order == 4
+
+    def test_insufficient_moments_rejected(self, one_port):
+        with pytest.raises(ReductionError, match="not enough"):
+            awe(one_port, 4, moments=exact_moments(one_port, 3, 0.0))
+
+    def test_order_validation(self, one_port):
+        with pytest.raises(ReductionError):
+            awe(one_port, 0)
+
+    def test_stability_check_lc_map(self, lc_system):
+        model = awe(lc_system, 3, sigma0=1e19)
+        # just exercising the sigma = s^2 pole mapping path
+        assert isinstance(model.is_stable(), bool)

@@ -1,0 +1,345 @@
+"""Unit tests for the symmetric block-Lanczos process (Algorithm 1).
+
+The oracles are the algorithm's defining properties rather than its
+pseudo-code lines (see lanczos.py docstring): J-orthogonality (16),
+starting-block expansion (18), projection identity, deflation, and
+look-ahead behavior.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.lanczos import LanczosOptions, symmetric_block_lanczos
+from repro.errors import BreakdownError
+from repro.linalg.factorization import factor_symmetric
+from repro.linalg.operators import LanczosOperator
+
+
+def make_operator(system, sigma0=0.0):
+    fact = factor_symmetric(system.shifted_g(sigma0))
+    return LanczosOperator(fact, system.C, system.B)
+
+
+@pytest.fixture
+def rc_operator(rc_two_port_system):
+    return make_operator(rc_two_port_system)
+
+
+@pytest.fixture
+def rlc_operator(rlc_system):
+    return make_operator(rlc_system, sigma0=1e9)
+
+
+class TestInvariants:
+    def test_j_orthogonality_identity_case(self, rc_operator):
+        result = symmetric_block_lanczos(rc_operator, 14)
+        gram = result.v.T @ rc_operator.j_product(result.v)
+        assert np.abs(gram - result.delta).max() < 1e-10
+        # J = I: Delta must be the identity
+        assert np.abs(result.delta - np.eye(result.order)).max() < 1e-10
+
+    def test_cluster_j_orthogonality_indefinite(self, rlc_operator):
+        result = symmetric_block_lanczos(rlc_operator, 16)
+        gram = result.v.T @ rlc_operator.j_product(result.v)
+        off = gram - result.delta
+        assert np.abs(off).max() < 1e-6 * max(np.abs(gram).max(), 1.0)
+
+    def test_delta_block_diagonal_by_clusters(self, rlc_operator):
+        result = symmetric_block_lanczos(rlc_operator, 16)
+        mask = np.zeros_like(result.delta, dtype=bool)
+        for cluster in result.clusters:
+            idx = np.array(cluster)
+            mask[np.ix_(idx, idx)] = True
+        assert np.abs(result.delta[~mask]).max(initial=0.0) < 1e-8
+
+    def test_starting_block_expansion(self, rc_operator):
+        """eq. 18: J^{-1} M^{-1} B = V rho."""
+        result = symmetric_block_lanczos(rc_operator, 12)
+        start = rc_operator.start_block()
+        assert np.abs(result.v @ result.rho - start).max() < 1e-9 * np.abs(
+            start
+        ).max()
+
+    def test_rho_rows_beyond_p1_vanish(self, rc_operator):
+        result = symmetric_block_lanczos(rc_operator, 12)
+        assert np.abs(result.rho[result.p1 :]).max(initial=0.0) < 1e-9
+
+    def test_projection_identity(self, rc_operator):
+        """T = Delta^{-1} V^T J K V computed two ways must agree."""
+        result = symmetric_block_lanczos(rc_operator, 10)
+        kv = np.column_stack(
+            [rc_operator.apply(result.v[:, m]) for m in range(result.order)]
+        )
+        t_ref = np.linalg.solve(
+            result.delta, result.v.T @ rc_operator.j_product(kv)
+        )
+        assert np.abs(result.t - t_ref).max() < 1e-10 * max(
+            np.abs(t_ref).max(), 1e-300
+        )
+
+    def test_recurrence_t_matches_explicit_on_completed_columns(
+        self, rc_operator
+    ):
+        result = symmetric_block_lanczos(rc_operator, 12)
+        # all but the trailing block-size columns are completed
+        complete = result.order - rc_operator.num_inputs
+        diff = result.t[:, :complete] - result.t_recurrence[:, :complete]
+        assert np.abs(diff).max() < 1e-8 * max(np.abs(result.t).max(), 1e-300)
+
+    def test_t_symmetric_when_j_identity(self, rc_operator):
+        result = symmetric_block_lanczos(rc_operator, 12)
+        assert np.abs(result.t - result.t.T).max() < 1e-9 * np.abs(result.t).max()
+
+    def test_unit_norm_vectors(self, rlc_operator):
+        result = symmetric_block_lanczos(rlc_operator, 12)
+        norms = np.linalg.norm(result.v, axis=0)
+        assert np.allclose(norms, 1.0, atol=1e-12)
+
+
+class TestTermination:
+    def test_requested_order_reached(self, rc_operator):
+        result = symmetric_block_lanczos(rc_operator, 9)
+        assert result.order == 9
+
+    def test_order_clipped_to_system_size(self, rc_two_port_system):
+        op = make_operator(rc_two_port_system)
+        result = symmetric_block_lanczos(op, 10 * rc_two_port_system.size)
+        assert result.order <= rc_two_port_system.size
+
+    def test_exhaustion_flag(self):
+        # 3-state system with 1 port exhausts at order 3
+        net = repro.rc_ladder(3)
+        net.resistor("Rg", "n4", "0", 1.0)
+        system = repro.assemble_mna(net)
+        op = make_operator(system)
+        result = symmetric_block_lanczos(op, 100)
+        assert result.exhausted
+        assert result.order <= system.size
+
+    def test_zero_start_block_raises(self, rc_two_port_system):
+        fact = factor_symmetric(rc_two_port_system.G)
+        op = LanczosOperator(
+            fact, rc_two_port_system.C, np.zeros_like(rc_two_port_system.B)
+        )
+        with pytest.raises(BreakdownError, match="zero"):
+            symmetric_block_lanczos(op, 4)
+
+    def test_invalid_order(self, rc_operator):
+        with pytest.raises(BreakdownError):
+            symmetric_block_lanczos(rc_operator, 0)
+
+
+class TestDeflation:
+    def test_duplicated_port_deflates_immediately(self):
+        """Two ports on the same node give linearly dependent B columns."""
+        net = repro.rc_ladder(10)
+        net.resistor("Rg", "n11", "0", 1.0)
+        net.port("dup", "n1")  # same node as port "in"
+        system = repro.assemble_mna(net)
+        op = make_operator(system)
+        result = symmetric_block_lanczos(op, 8)
+        assert len(result.deflations) >= 1
+        assert result.deflations[0].source[0] == "b"
+        assert result.p1 == 1
+
+    def test_deflated_model_still_expands_start(self):
+        net = repro.rc_ladder(10)
+        net.resistor("Rg", "n11", "0", 1.0)
+        net.port("dup", "n1")
+        system = repro.assemble_mna(net)
+        op = make_operator(system)
+        result = symmetric_block_lanczos(op, 8)
+        start = op.start_block()
+        err = np.abs(result.v @ result.rho - start).max()
+        assert err < 1e-8 * np.abs(start).max()
+
+    def test_symmetric_circuit_creates_av_deflation(self):
+        """A perfectly symmetric 2-port sees deflation in the Krylov
+        sequence once the symmetric/antisymmetric spaces exhaust."""
+        net = repro.rc_ladder(6, port_at_far_end=True)
+        net.resistor("Rg", "n7", "0", 1e3)
+        system = repro.assemble_mna(net)
+        op = make_operator(system)
+        result = symmetric_block_lanczos(op, system.size + 5)
+        assert result.exhausted or result.order == system.size
+
+
+class TestOptions:
+    def test_local_mode_runs_and_matches_full_low_order(self, rc_operator):
+        full = symmetric_block_lanczos(
+            rc_operator, 8, LanczosOptions(reorthogonalize="full")
+        )
+        local = symmetric_block_lanczos(
+            rc_operator, 8, LanczosOptions(reorthogonalize="local")
+        )
+        # same Krylov space at low order: T spectra agree
+        ev_f = np.sort(np.linalg.eigvals(full.t).real)
+        ev_l = np.sort(np.linalg.eigvals(local.t).real)
+        assert np.abs(ev_f - ev_l).max() < 1e-6 * max(np.abs(ev_f).max(), 1e-300)
+
+    def test_local_mode_t_is_banded(self, rc_operator):
+        result = symmetric_block_lanczos(
+            rc_operator, 12, LanczosOptions(reorthogonalize="local")
+        )
+        t = result.t_recurrence
+        p = rc_operator.num_inputs
+        band = p + LanczosOptions().max_cluster
+        for i in range(t.shape[0]):
+            for j in range(t.shape[1]):
+                if abs(i - j) > band:
+                    assert t[i, j] == 0.0
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(ValueError):
+            LanczosOptions(reorthogonalize="sometimes")
+        with pytest.raises(ValueError):
+            LanczosOptions(deflation_tol=2.0)
+        with pytest.raises(ValueError):
+            LanczosOptions(max_cluster=0)
+
+
+class TestLookAhead:
+    def test_indefinite_j_may_cluster(self, rlc_operator):
+        result = symmetric_block_lanczos(rlc_operator, 20)
+        # whether or not clusters formed, the invariants must hold;
+        # record the structural facts for the report
+        assert sum(len(c) for c in result.clusters) == result.order
+
+    def test_forced_lookahead_by_construction(self):
+        """An operator with a hyperbolic J metric forces a singular
+        1x1 Delta and hence a look-ahead cluster."""
+
+        class HyperbolicOperator:
+            """K = J^{-1} A with J = diag(1,-1,...) and A chosen so the
+            first Lanczos vector is J-null."""
+
+            def __init__(self, n=8):
+                rng = np.random.default_rng(0)
+                self.n = n
+                j = np.ones(n)
+                j[1::2] = -1.0
+                self._j = np.diag(j)
+                a = rng.standard_normal((n, n))
+                self._a = 0.5 * (a + a.T)
+                start = np.zeros((n, 1))
+                start[0] = 1.0
+                start[1] = 1.0  # J-null vector: x^T J x = 0
+                self._start = start
+
+            @property
+            def size(self):
+                return self.n
+
+            @property
+            def num_inputs(self):
+                return 1
+
+            @property
+            def j_is_identity(self):
+                return False
+
+            def start_block(self):
+                return self._start.copy()
+
+            def apply(self, v):
+                return np.linalg.solve(self._j, self._a @ v)
+
+            def j_product(self, x):
+                return self._j @ np.asarray(x)
+
+            def j_inner(self, x, y):
+                return np.asarray(x).T @ self._j @ np.asarray(y)
+
+        op = HyperbolicOperator()
+        result = symmetric_block_lanczos(op, 6)
+        assert result.used_lookahead
+        # cluster-wise J-orthogonality still holds
+        gram = result.v.T @ op.j_product(result.v)
+        assert np.abs(gram - result.delta).max() < 1e-8
+
+
+class TestEngine:
+    """Resumable-engine semantics: stepped == one-shot."""
+
+    def test_incremental_matches_one_shot(self, rc_operator):
+        from repro.core.lanczos import LanczosEngine
+
+        one_shot = symmetric_block_lanczos(rc_operator, 14)
+        engine = LanczosEngine(rc_operator)
+        for order in (4, 9, 14):
+            engine.extend(order)
+        stepped = engine.result()
+        assert stepped.order == one_shot.order
+        assert np.allclose(stepped.v, one_shot.v)
+        assert np.allclose(stepped.t, one_shot.t)
+        assert np.allclose(stepped.rho, one_shot.rho)
+
+    def test_incremental_indefinite(self, rlc_operator):
+        from repro.core.lanczos import LanczosEngine
+
+        one_shot = symmetric_block_lanczos(rlc_operator, 16)
+        engine = LanczosEngine(rlc_operator)
+        engine.extend(5)
+        engine.extend(16)
+        stepped = engine.result()
+        assert np.allclose(stepped.t, one_shot.t, atol=1e-10)
+        assert np.allclose(stepped.delta, one_shot.delta, atol=1e-10)
+
+    def test_result_is_non_destructive(self, rc_operator):
+        from repro.core.lanczos import LanczosEngine
+
+        engine = LanczosEngine(rc_operator)
+        engine.extend(6)
+        first = engine.result()
+        engine.extend(10)
+        second = engine.result()
+        assert first.order == 6
+        assert second.order == 10
+        # the first six vectors are unchanged by the extension
+        assert np.allclose(second.v[:, :6], first.v)
+
+    def test_shrinking_request_is_noop(self, rc_operator):
+        from repro.core.lanczos import LanczosEngine
+
+        engine = LanczosEngine(rc_operator)
+        engine.extend(10)
+        engine.extend(4)  # smaller order: nothing happens
+        assert engine.order == 10
+
+    def test_exhaustion_reported(self, rc_two_port_system):
+        from repro.core.lanczos import LanczosEngine
+
+        op = make_operator(rc_two_port_system)
+        engine = LanczosEngine(op)
+        engine.extend(10 * rc_two_port_system.size)
+        assert engine.exhausted
+        assert engine.order <= rc_two_port_system.size
+
+
+class TestIncurableBreakdown:
+    def test_j_null_trailing_vector_is_truncated(self):
+        """Exhausted space with a J-null trailing vector: the unclosed
+        cluster is dropped and exactness is *restored* (the null
+        direction carries no weight in the oblique projection)."""
+        net = repro.random_passive("RLC", 8, seed=3120, n_ports=2)
+        system = repro.assemble_mna(net)
+        model = repro.sympvl(system, order=system.size)
+        lanczos = model.metadata["lanczos"]
+        assert lanczos.breakdown_truncated >= 1
+        s = 1j * np.logspace(8.5, 10, 4)
+        g = system.G.toarray()
+        c = system.C.toarray()
+        exact = np.array(
+            [system.B.T @ np.linalg.solve(g + sk * c, system.B) for sk in s]
+        )
+        err = np.abs(model.impedance(s) - exact).max() / np.abs(exact).max()
+        assert err < 1e-9
+
+    def test_no_truncation_for_definite_classes(self, rc_operator):
+        from repro.core.lanczos import LanczosEngine
+
+        engine = LanczosEngine(rc_operator)
+        engine.extend(10_000)  # force exhaustion
+        result = engine.result()
+        assert result.breakdown_truncated == 0

@@ -1,0 +1,203 @@
+"""Unit tests for the ReducedOrderModel object."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits.mna import TransferMap
+from repro.core import sympvl
+from repro.core.model import ReducedOrderModel
+from repro.errors import ReductionError
+
+from ..conftest import dense_impedance, rel_err
+
+
+def diagonal_model(lambdas, weights, sigma0=0.0, transfer=None):
+    """Hand-built model with known pole-residue structure."""
+    lambdas = np.asarray(lambdas, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    n = lambdas.size
+    return ReducedOrderModel(
+        t=np.diag(lambdas),
+        delta=np.eye(n),
+        rho=weights[:, None],
+        sigma0=sigma0,
+        transfer=transfer or TransferMap(),
+        port_names=["p"],
+        source_size=100,
+    )
+
+
+class TestEvaluation:
+    def test_known_rational_function(self):
+        # Z(s) = 1/(1+s) + 4/(1+2s)
+        model = diagonal_model([1.0, 2.0], [1.0, 2.0])
+        s = 0.5
+        expected = 1.0 / 1.5 + 4.0 / 2.0
+        assert model.impedance(s)[0, 0] == pytest.approx(expected)
+
+    def test_shift_moves_expansion_not_function(self):
+        base = diagonal_model([1.0, 2.0], [1.0, 2.0])
+        # same poles/residues expressed about sigma0 = 3:
+        # 1/(1+s) = (1/(1+3))/(1 + (s-3)/(1+3)) -> lambda' = 1/4, w'^2 = 1/4
+        shifted = diagonal_model(
+            [1.0 / 4.0, 2.0 / 7.0], [np.sqrt(1.0 / 4.0), np.sqrt(4.0 / 7.0)],
+            sigma0=3.0,
+        )
+        s = np.array([0.1, 1.0, 10.0])
+        assert np.allclose(
+            base.impedance(s), shifted.impedance(s), rtol=1e-12
+        )
+
+    def test_scalar_vs_array_shapes(self):
+        model = diagonal_model([1.0], [1.0])
+        assert model.impedance(1.0).shape == (1, 1)
+        assert model.impedance(np.array([1.0, 2.0])).shape == (2, 1, 1)
+
+    def test_lc_transfer_map(self):
+        # LC: Z(s) = s * H(s^2) with H = 1/(1+sigma)
+        model = diagonal_model(
+            [1.0], [1.0], transfer=TransferMap(sigma_power=2, prefactor_power=1)
+        )
+        s = 2.0j
+        expected = s / (1.0 + s**2)
+        assert model.impedance(s)[0, 0] == pytest.approx(expected)
+
+    def test_callable(self):
+        model = diagonal_model([1.0], [1.0])
+        assert model(1.0)[0, 0] == model.impedance(1.0)[0, 0]
+
+
+class TestPoles:
+    def test_kernel_poles(self):
+        model = diagonal_model([1.0, 0.5], [1.0, 1.0])
+        poles = np.sort(model.kernel_poles().real)
+        assert poles == pytest.approx([-2.0, -1.0])
+
+    def test_lc_pole_pairs(self):
+        model = diagonal_model(
+            [1.0], [1.0], transfer=TransferMap(sigma_power=2, prefactor_power=1)
+        )
+        poles = model.poles()
+        assert poles.size == 2
+        assert np.sort(poles.imag) == pytest.approx([-1.0, 1.0])
+
+    def test_stability_check(self):
+        stable = diagonal_model([1.0, 2.0], [1.0, 1.0])
+        assert stable.is_stable()
+        unstable = diagonal_model([-1.0], [1.0])  # pole at +1
+        assert not unstable.is_stable()
+
+
+class TestMoments:
+    def test_geometric_series(self):
+        model = diagonal_model([2.0], [1.0])
+        # H(u) = 1/(1+2u) = sum (-2)^k u^k
+        moments = model.moments(4)
+        values = [m[0, 0] for m in moments]
+        assert values == pytest.approx([1.0, -2.0, 4.0, -8.0])
+
+
+class TestStateSpace:
+    def test_round_trip_frequency_response(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=10, shift=0.0)
+        ss = model.to_state_space()
+        s = 1j * np.logspace(7, 10, 9)
+        z_model = model.impedance(s)
+        z_ss = np.array(
+            [
+                ss.lr.T @ np.linalg.solve(ss.gr + sk * ss.cr, ss.br)
+                for sk in s
+            ]
+        )
+        assert rel_err(z_ss, z_model) < 1e-10
+
+    def test_shifted_state_space_consistent(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=10, shift=5e8)
+        ss = model.to_state_space()
+        s = 1j * 2e9
+        z_ss = ss.lr.T @ np.linalg.solve(ss.gr + s * ss.cr, ss.br)
+        assert rel_err(z_ss, model.impedance(s)) < 1e-10
+
+    def test_lc_rejected(self, lc_system):
+        model = sympvl(lc_system, order=8)
+        with pytest.raises(ReductionError, match="sigma = s"):
+            model.to_state_space()
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReductionError):
+            ReducedOrderModel(
+                t=np.eye(3),
+                delta=np.eye(2),
+                rho=np.ones((3, 1)),
+                sigma0=0.0,
+                transfer=TransferMap(),
+                port_names=["p"],
+                source_size=10,
+            )
+
+    def test_rho_row_mismatch_rejected(self):
+        with pytest.raises(ReductionError):
+            ReducedOrderModel(
+                t=np.eye(3),
+                delta=np.eye(3),
+                rho=np.ones((2, 1)),
+                sigma0=0.0,
+                transfer=TransferMap(),
+                port_names=["p"],
+                source_size=10,
+            )
+
+    def test_reduction_ratio(self):
+        model = diagonal_model([1.0, 2.0], [1.0, 1.0])
+        assert model.reduction_ratio == pytest.approx(50.0)
+
+
+class TestAccuracyOnCircuits:
+    def test_rc_band_accuracy(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=16, shift=0.0)
+        s = 1j * np.logspace(7, 10, 25)
+        exact = dense_impedance(rc_two_port_system, s)
+        assert rel_err(model.impedance(s), exact) < 1e-4
+
+    def test_lc_band_accuracy(self, lc_system):
+        model = sympvl(lc_system, order=24)
+        s = 1j * np.linspace(1e9, 2e10, 40)
+        exact = dense_impedance(lc_system, s)
+        assert rel_err(model.impedance(s), exact) < 1e-3
+
+    def test_full_order_exactness(self, rc_two_port_system):
+        model = sympvl(
+            rc_two_port_system, order=rc_two_port_system.size, shift=0.0
+        )
+        s = 1j * np.logspace(7, 10, 15)
+        exact = dense_impedance(rc_two_port_system, s)
+        assert rel_err(model.impedance(s), exact) < 1e-9
+
+
+class TestResidues:
+    def test_residues_reconstruct_kernel(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=8, shift=0.0)
+        pairs = model.residues()
+        sigma = 3e9
+        u = sigma - model.sigma0
+        z_modal = sum(r / (1 + u * lam) for lam, r in pairs)
+        z_kernel = model.kernel(sigma)
+        assert rel_err(z_modal, z_kernel) < 1e-10
+
+    def test_guaranteed_residues_are_psd(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=8, shift=0.0)
+        for lam, residue in model.residues():
+            assert abs(np.imag(lam)) < 1e-12
+            sym = 0.5 * (residue + residue.T)
+            eigs = np.linalg.eigvalsh(np.real(sym))
+            assert eigs.min() > -1e-9 * max(abs(eigs).max(), 1e-300)
+
+    def test_residues_are_rank_one(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=6, shift=0.0)
+        for _, residue in model.residues():
+            svals = np.linalg.svd(residue, compute_uv=False)
+            if svals[0] > 1e-12:
+                assert svals[1] < 1e-9 * svals[0]

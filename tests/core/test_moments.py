@@ -1,0 +1,68 @@
+"""Unit tests for the exact moment engine."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.moments import exact_moments, moment_match_count
+from repro.errors import ReductionError
+
+
+class TestExactMoments:
+    def test_single_rc_analytic(self):
+        """R parallel C from port: H(s) = R / (1 + sRC);
+        moments m_k = R (-RC)^k."""
+        net = repro.Netlist()
+        net.port("p", "a")
+        net.resistor("R1", "a", "0", 100.0)
+        net.capacitor("C1", "a", "0", 1e-12)
+        system = repro.assemble_mna(net)
+        moments = exact_moments(system, 4)
+        rc = 100.0 * 1e-12
+        for k, m in enumerate(moments):
+            assert m[0, 0] == pytest.approx(100.0 * (-rc) ** k)
+
+    def test_taylor_series_agreement(self, rc_two_port_system):
+        """Moments must be the Taylor coefficients of the kernel."""
+        sigma0 = 2e8
+        moments = exact_moments(rc_two_port_system, 3, sigma0)
+        g = rc_two_port_system.G.toarray()
+        c = rc_two_port_system.C.toarray()
+        b = rc_two_port_system.B
+        u = 1e4  # small step in sigma
+        h = lambda sig: b.T @ np.linalg.solve(g + sig * c, b)
+        h0 = h(sigma0)
+        assert np.allclose(moments[0], h0)
+        # first derivative by central difference
+        d1 = (h(sigma0 + u) - h(sigma0 - u)) / (2 * u)
+        assert np.abs(moments[1] - d1).max() < 1e-4 * np.abs(d1).max()
+
+    def test_symmetric(self, rc_two_port_system):
+        for m in exact_moments(rc_two_port_system, 5):
+            assert np.abs(m - m.T).max() < 1e-9 * max(np.abs(m).max(), 1e-300)
+
+    def test_count_zero(self, rc_two_port_system):
+        assert exact_moments(rc_two_port_system, 0) == []
+
+    def test_singular_shift_rejected(self, lc_system):
+        with pytest.raises(ReductionError, match="singular"):
+            exact_moments(lc_system, 2, 0.0)
+
+    def test_shifted_singular_ok(self, lc_system):
+        moments = exact_moments(lc_system, 3, 1e19)
+        assert len(moments) == 3
+
+
+class TestMomentMatchCount:
+    def test_counts_prefix(self):
+        exact = [np.eye(2) * v for v in (1.0, 2.0, 3.0)]
+        approx = [np.eye(2) * v for v in (1.0, 2.0, 99.0)]
+        assert moment_match_count(approx, exact) == 2
+
+    def test_all_match(self):
+        exact = [np.eye(2)] * 4
+        assert moment_match_count(exact, exact) == 4
+
+    def test_zero_moments_count_as_match(self):
+        zero = [np.zeros((1, 1))] * 2
+        assert moment_match_count(zero, zero) == 2

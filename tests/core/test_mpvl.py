@@ -1,0 +1,57 @@
+"""Unit tests for the MPVL two-sided baseline."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import mpvl, sympvl
+from repro.errors import ReductionError
+
+from ..conftest import dense_impedance, rel_err
+
+
+class TestMPVL:
+    def test_matches_sympvl_on_symmetric_system(self, rc_two_port_system):
+        """MPVL and SyMPVL compute the same matrix-Pade approximant."""
+        s = 1j * np.logspace(7, 10, 20)
+        m_general = mpvl(rc_two_port_system, 12)
+        m_symmetric = sympvl(rc_two_port_system, order=12, shift=0.0)
+        assert (
+            rel_err(m_general.impedance(s), m_symmetric.impedance(s)) < 1e-8
+        )
+
+    def test_moment_matching(self, rc_two_port_system):
+        from repro.core import exact_moments, moment_match_count
+
+        model = mpvl(rc_two_port_system, 10)
+        exact = exact_moments(rc_two_port_system, 10, 0.0)
+        assert moment_match_count(model.moments(10), exact) >= 10
+
+    def test_indefinite_system(self, rlc_system):
+        sigma0 = 1e10
+        m_general = mpvl(rlc_system, 14, sigma0=sigma0)
+        m_symmetric = sympvl(rlc_system, order=14, shift=sigma0)
+        s = 1j * np.logspace(9, 11, 15)
+        za = m_general.impedance(s)
+        zb = m_symmetric.impedance(s)
+        assert rel_err(za, zb) < 1e-4
+
+    def test_singular_shift_rejected(self, lc_system):
+        with pytest.raises(ReductionError, match="singular"):
+            mpvl(lc_system, 4, sigma0=0.0)
+
+    def test_order_validation(self, rc_two_port_system):
+        with pytest.raises(ReductionError):
+            mpvl(rc_two_port_system, 0)
+
+    def test_deflation_on_duplicate_ports(self):
+        net = repro.rc_ladder(8)
+        net.resistor("Rg", "n9", "0", 1.0)
+        net.port("dup", "n1")
+        system = repro.assemble_mna(net)
+        model = mpvl(system, 6)
+        assert model.order <= 6
+
+    def test_metadata_tag(self, rc_two_port_system):
+        model = mpvl(rc_two_port_system, 6)
+        assert model.metadata["algorithm"] == "mpvl"

@@ -1,0 +1,117 @@
+"""Unit tests for the PACT pole-matching baseline (paper ref. [11])."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import pact, sympvl
+from repro.errors import ReductionError
+from repro.linalg.utils import is_positive_semidefinite
+
+from ..conftest import dense_impedance, rel_err
+
+
+@pytest.fixture
+def bus_system():
+    net = repro.coupled_rc_bus(4, 15, driver_resistance=120.0)
+    return repro.assemble_mna(net)
+
+
+class TestCorrectness:
+    def test_dc_exact_by_construction(self, bus_system):
+        """PACT's block elimination preserves the DC solution exactly."""
+        model = pact(bus_system, 3)
+        g = bus_system.G.toarray()
+        z0 = bus_system.B.T @ np.linalg.solve(g, bus_system.B)
+        z0_model = model.impedance(1e-3)
+        assert rel_err(z0_model, z0) < 1e-9
+
+    def test_converges_with_kept_poles(self, bus_system):
+        s = 1j * np.logspace(8, 10.5, 15)
+        exact = dense_impedance(bus_system, s)
+        errors = [
+            rel_err(pact(bus_system, k).impedance(s), exact)
+            for k in (2, 8, 20)
+        ]
+        assert errors[2] < errors[1] < errors[0]
+        assert errors[2] < 1e-2
+
+    def test_all_poles_keeps_everything_exact(self):
+        net = repro.rc_ladder(10)
+        net.resistor("Rg", "n11", "0", 500.0)
+        system = repro.assemble_mna(net)
+        model = pact(system, system.size)  # keep every internal mode
+        s = 1j * np.logspace(7, 10, 9)
+        exact = dense_impedance(system, s)
+        assert rel_err(model.impedance(s), exact) < 1e-9
+
+    def test_reduced_order_accounting(self, bus_system):
+        model = pact(bus_system, 6)
+        assert model.order == bus_system.num_ports + 6
+        assert model.metadata["kept_poles"] == 6
+
+
+class TestGuarantees:
+    def test_passive_by_congruence(self, bus_system):
+        model = pact(bus_system, 5)
+        assert is_positive_semidefinite(model.gr, tol=1e-7)
+        assert is_positive_semidefinite(model.cr, tol=1e-7)
+        assert model.is_stable(1e-6)
+
+    def test_zero_poles_is_dc_resistive_model(self, bus_system):
+        model = pact(bus_system, 0)
+        assert model.order == bus_system.num_ports
+        # still DC-exact
+        g = bus_system.G.toarray()
+        z0 = bus_system.B.T @ np.linalg.solve(g, bus_system.B)
+        assert rel_err(model.impedance(1e-2), z0) < 1e-9
+
+
+class TestComparisonWithSympvl:
+    def test_sympvl_wins_at_equal_order_mid_band(self, bus_system):
+        """Moment matching concentrates accuracy where it is asked for;
+        pole matching spends order on global modes."""
+        s = 1j * np.logspace(8.5, 10, 12)
+        exact = dense_impedance(bus_system, s)
+        order = 12
+        err_pact = rel_err(
+            pact(bus_system, order - bus_system.num_ports).impedance(s), exact
+        )
+        err_sympvl = rel_err(
+            sympvl(bus_system, order=order, shift=2e9).impedance(s), exact
+        )
+        assert err_sympvl < err_pact
+
+
+class TestErrors:
+    def test_non_rc_rejected(self, rlc_system):
+        with pytest.raises(ReductionError, match='"rc"'):
+            pact(rlc_system, 4)
+
+    def test_negative_poles_rejected(self, bus_system):
+        with pytest.raises(ReductionError, match="n_poles"):
+            pact(bus_system, -1)
+
+    def test_floating_internal_block_rejected(self):
+        # internal nodes c, d hang off the resistive part through
+        # capacitors only: G_ii is singular
+        net = repro.Netlist()
+        net.port("p", "a")
+        net.resistor("R1", "a", "b", 100.0)
+        net.capacitor("C1", "b", "c", 1e-12)
+        net.resistor("R2", "c", "d", 100.0)
+        net.capacitor("C2", "d", "0", 1e-12)
+        system = repro.assemble_mna(net)
+        with pytest.raises(ReductionError, match="singular"):
+            pact(system, 2)
+
+    def test_dc_blocked_port_is_represented(self):
+        """A port with no DC path: the Schur complement is ~zero and
+        the model's low-frequency impedance blows up like the exact
+        circuit's (1/sC behavior), instead of erroring out."""
+        net = repro.rc_ladder(6)
+        system = repro.assemble_mna(net)
+        model = pact(system, 3)
+        z_low = abs(model.impedance(1j * 1e4)[0, 0])
+        z_high = abs(model.impedance(1j * 1e10)[0, 0])
+        assert z_low > 1e3 * z_high

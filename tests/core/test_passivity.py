@@ -1,0 +1,261 @@
+"""Unit tests for stability/passivity certification and post-processing.
+
+These are the paper's section-5 theorems turned into executable checks.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits.mna import TransferMap
+from repro.core import certify, positive_real_margin, stabilize, sympvl
+from repro.core.model import ReducedOrderModel
+
+from ..conftest import dense_impedance, rel_err
+
+
+def model_from(lambdas, weights, sigma0=0.0):
+    lambdas = np.asarray(lambdas, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    return ReducedOrderModel(
+        t=np.diag(lambdas),
+        delta=np.eye(lambdas.size),
+        rho=weights[:, None],
+        sigma0=sigma0,
+        transfer=TransferMap(),
+        port_names=["p"],
+        source_size=50,
+    )
+
+
+class TestCertify:
+    def test_rc_model_certified(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=10, shift=0.0)
+        cert = certify(model)
+        assert cert.certified
+        assert cert.delta_is_identity
+        assert cert.t_symmetric
+        assert cert.t_positive_semidefinite
+
+    def test_lc_model_certified(self, lc_system):
+        model = sympvl(lc_system, order=14)
+        cert = certify(model)
+        assert cert.certified
+        assert cert.shift_bound_holds
+
+    def test_rl_model_certified(self):
+        net = repro.Netlist()
+        net.port("in", "a")
+        net.resistor("R1", "a", "b", 5.0)
+        net.inductor("L1", "b", "0", 1e-9)
+        net.resistor("R2", "a", "0", 50.0)
+        system = repro.assemble_mna(net)
+        assert system.formulation == "rl"
+        model = sympvl(system, order=3)
+        assert certify(model).certified
+
+    def test_rlc_model_usually_not_certified(self, rlc_system):
+        model = sympvl(rlc_system, order=12, shift=1e10)
+        cert = certify(model)
+        # the indefinite path gives Delta != I
+        assert not cert.delta_is_identity
+        assert not cert.certified
+
+    def test_negative_t_eigenvalue_fails(self):
+        bad = model_from([-1.0, 2.0], [1.0, 1.0])
+        cert = certify(bad)
+        assert not cert.t_positive_semidefinite
+        assert not cert.certified
+
+    def test_shift_bound_violation_detected(self):
+        # lambda_max = 2 > 1/sigma0 = 1  => pole at sigma0 - 1/2 > 0
+        bad = model_from([2.0], [1.0], sigma0=1.0)
+        cert = certify(bad)
+        assert not cert.shift_bound_holds
+        assert not bad.is_stable()
+
+
+class TestPositiveRealMargin:
+    def test_passive_model_nonnegative(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=10, shift=0.0)
+        omega = np.logspace(6, 10, 30)
+        assert positive_real_margin(model, omega) >= -1e-9
+
+    def test_active_model_negative(self):
+        # negative residue: Re Z < 0 at low frequency
+        model = model_from([1.0], [1.0])
+        model.rho = -model.rho  # sign flip keeps rho^T rho positive...
+        active = ReducedOrderModel(
+            t=np.diag([1.0]),
+            delta=-np.eye(1),  # forces negative residue
+            rho=np.ones((1, 1)),
+            sigma0=0.0,
+            transfer=TransferMap(),
+            port_names=["p"],
+            source_size=10,
+        )
+        omega = np.logspace(-2, 2, 20)
+        assert positive_real_margin(active, omega) < 0.0
+
+    def test_works_for_congruence_models(self, rc_two_port_system):
+        from repro.core import prima
+
+        model = prima(rc_two_port_system, 8)
+        assert positive_real_margin(model, np.logspace(6, 10, 15)) >= -1e-9
+
+
+class TestStabilize:
+    def test_noop_on_stable_model(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=8, shift=0.0)
+        assert stabilize(model) is model
+
+    def test_reflect_preserves_accuracy(self, rlc_system):
+        sigma0 = 1e10
+        model = sympvl(rlc_system, order=16, shift=sigma0)
+        fixed = stabilize(model)
+        s = 1j * np.logspace(9, 11, 25)
+        exact = dense_impedance(rlc_system, s)
+        err_before = rel_err(model.impedance(s), exact)
+        err_after = rel_err(fixed.impedance(s), exact)
+        assert fixed.is_stable(1e-6)
+        assert err_after < max(4 * err_before, 1e-8)
+
+    def test_truncate_mode(self):
+        model = model_from([1.0, -0.5], [1.0, 1e-6])  # tiny unstable mode
+        fixed = stabilize(model, mode="truncate")
+        assert fixed.is_stable()
+        assert fixed.order < model.order
+
+    def test_reflect_moves_pole(self):
+        model = model_from([1.0, -0.5], [1.0, 0.1])  # pole at +2
+        fixed = stabilize(model)
+        assert fixed.is_stable(1e-9)
+        poles = np.sort(fixed.kernel_poles().real)
+        assert poles == pytest.approx([-2.0, -1.0])
+
+    def test_preserves_stable_mode_values(self):
+        model = model_from([1.0, -0.5], [1.0, 0.0])  # unstable mode unused
+        fixed = stabilize(model)
+        s = 1j * np.logspace(-1, 1, 9)
+        stable_part = model_from([1.0], [1.0])
+        assert rel_err(fixed.impedance(s), stable_part.impedance(s)) < 1e-9
+
+    def test_bad_mode_rejected(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=4, shift=0.0)
+        with pytest.raises(ValueError, match="reflect"):
+            stabilize(model, mode="explode")
+
+    def test_pole_at_zero_survives(self):
+        """The simple pole at sigma = 0 (capacitive DC blocking) is
+        legitimate and must not be 'stabilized' away (section 5.1)."""
+        net = repro.rc_ladder(10)  # no DC path: exact pole at 0
+        system = repro.assemble_mna(net)
+        model = sympvl(system, order=8, shift=1e8)
+        fixed = stabilize(model)
+        s_low = 1j * 1e5
+        z0 = model.impedance(s_low)
+        z1 = fixed.impedance(s_low)
+        assert rel_err(z1, z0) < 1e-6
+
+
+class TestEnforcePassivity:
+    def test_noop_on_passive_model(self, rc_two_port_system):
+        from repro.core import enforce_passivity
+
+        model = repro.sympvl(rc_two_port_system, order=8, shift=0.0)
+        omega = np.logspace(7, 10, 15)
+        assert enforce_passivity(model, omega) is model
+
+    def test_repairs_rlc_model(self, rlc_system):
+        from repro.core import enforce_passivity
+
+        model = repro.sympvl(rlc_system, order=16, shift=1e10)
+        omega = np.logspace(8, 11.5, 30)
+        fixed = enforce_passivity(model, omega, margin=1e-3)
+        assert fixed.is_stable(1e-6)
+        assert positive_real_margin(fixed, omega) >= 1e-3 - 1e-9
+
+    def test_padding_recorded_and_bounded(self):
+        from repro.core import enforce_passivity
+
+        # active model: Re Z -> -1.5 at high frequency (the direct term
+        # dominates once the dynamic mode rolls off)
+        active = model_from([1.0], [1.0])
+        active.direct = np.array([[-1.5]])
+        omega = np.logspace(-2, 2, 20)
+        fixed = enforce_passivity(active, omega)
+        pad = fixed.metadata["passivity_padding"]
+        assert pad == pytest.approx(1.5, rel=0.05)
+        assert positive_real_margin(fixed, omega) >= -1e-12
+
+    def test_direct_term_changes_impedance_constantly(self):
+        from repro.core import enforce_passivity
+
+        active = model_from([1.0], [1.0])
+        active.direct = np.array([[-1.5]])
+        omega = np.logspace(-2, 2, 10)
+        fixed = enforce_passivity(active, omega)
+        s = 1j * omega
+        delta = fixed.impedance(s) - active.impedance(s)
+        assert np.allclose(delta, delta[0])  # constant shift
+
+    def test_lc_model_rejected(self, lc_system):
+        from repro.core import enforce_passivity
+
+        model = repro.sympvl(lc_system, order=6)
+        with pytest.raises(ValueError, match="sigma = s"):
+            enforce_passivity(model, np.logspace(8, 10, 5))
+
+
+class TestDirectTerm:
+    def test_moment_zero_includes_direct(self):
+        model = model_from([1.0], [1.0])
+        model.direct = np.array([[2.0]])
+        model.__post_init__()
+        moments = model.moments(2)
+        assert moments[0][0, 0] == pytest.approx(3.0)  # 1 + 2
+        assert moments[1][0, 0] == pytest.approx(-1.0)
+
+    def test_state_space_carries_d(self):
+        model = model_from([1.0], [1.0])
+        model.direct = np.array([[2.0]])
+        model.__post_init__()
+        ss = model.to_state_space()
+        assert ss.d[0, 0] == 2.0
+
+    def test_transient_includes_feedthrough(self, rc_two_port_system):
+        from repro.simulation import DC, transient_reduced
+
+        model = repro.sympvl(rc_two_port_system, order=8, shift=0.0)
+        t = np.linspace(0, 1e-8, 101)
+        base = transient_reduced(model, {"in": DC(1e-3)}, t)
+        model.direct = np.eye(2) * 10.0
+        model.__post_init__()
+        padded = transient_reduced(model, {"in": DC(1e-3)}, t)
+        # feedthrough adds D @ i: +10 ohm * 1 mA on the driven port
+        delta = padded.signal("v(in)") - base.signal("v(in)")
+        assert np.allclose(delta[1:], 0.01, rtol=1e-9)
+
+
+class TestBandAwareStabilize:
+    def test_band_repair_beats_blind_reflection(self):
+        """Spurious near-band RHP artifacts: the lsq repair must not be
+        worse than blind reflection on the band."""
+        net = repro.package_model(n_pins=16, n_signal=4, n_sections=8)
+        system = repro.assemble_mna(net)
+        band = 2 * np.pi * np.logspace(np.log10(5e7), np.log10(5e9), 20)
+        s = 1j * band
+        model = sympvl(system, order=32, shift=2 * np.pi * 1.5e9)
+        if model.is_stable(1e-6):
+            pytest.skip("this instance happened to be stable")
+        exact = dense_impedance(system, s)
+        blind = stabilize(model)
+        smart = stabilize(model, band=(float(band[0]), float(band[-1])))
+        assert smart.is_stable(1e-6)
+        err_blind = rel_err(blind.impedance(s), exact)
+        err_smart = rel_err(smart.impedance(s), exact)
+        assert err_smart <= err_blind * 1.2 + 1e-12
+
+    def test_band_repair_noop_on_stable(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=8, shift=0.0)
+        assert stabilize(model, band=(1e7, 1e10)) is model

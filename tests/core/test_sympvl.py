@@ -1,0 +1,161 @@
+"""Unit and integration tests for the SyMPVL driver.
+
+The central claim (eq. 14): the order-n model matches at least
+``2 * floor(n/p)`` kernel moments about the expansion point.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import exact_moments, moment_match_count, sympvl
+from repro.core.sympvl import default_shift, resolve_shift
+from repro.errors import ReductionError
+
+from ..conftest import dense_impedance, rel_err
+
+
+class TestMomentMatching:
+    @pytest.mark.parametrize("order", [4, 8, 12])
+    def test_rc_two_port(self, rc_two_port_system, order):
+        model = sympvl(rc_two_port_system, order=order, shift=0.0)
+        guaranteed = 2 * (order // rc_two_port_system.num_ports)
+        exact = exact_moments(rc_two_port_system, guaranteed, 0.0)
+        matched = moment_match_count(model.moments(guaranteed), exact)
+        assert matched >= guaranteed
+
+    def test_rlc_indefinite(self, rlc_system):
+        sigma0 = 1e10
+        model = sympvl(rlc_system, order=12, shift=sigma0)
+        guaranteed = 2 * (12 // rlc_system.num_ports)
+        exact = exact_moments(rlc_system, guaranteed, sigma0)
+        matched = moment_match_count(
+            model.moments(guaranteed), exact, rtol=1e-4
+        )
+        assert matched >= guaranteed
+
+    def test_lc_with_shift(self, lc_system):
+        model = sympvl(lc_system, order=10)
+        assert model.sigma0 > 0.0  # auto shift forced by singular G
+        guaranteed = 2 * 10
+        exact = exact_moments(lc_system, guaranteed, model.sigma0)
+        matched = moment_match_count(model.moments(guaranteed), exact)
+        assert matched >= guaranteed
+
+    def test_four_port_mesh(self):
+        system = repro.assemble_mna(repro.rc_mesh(5, 5))
+        model = sympvl(system, order=12, shift=default_shift(system))
+        guaranteed = 2 * (12 // 4)
+        exact = exact_moments(system, guaranteed, model.sigma0)
+        matched = moment_match_count(model.moments(guaranteed), exact)
+        assert matched >= guaranteed
+
+
+class TestConvergence:
+    def test_error_decreases_with_order(self, rc_two_port_system):
+        s = 1j * np.logspace(7, 10, 20)
+        exact = dense_impedance(rc_two_port_system, s)
+        errors = []
+        for order in (4, 8, 16):
+            model = sympvl(rc_two_port_system, order=order, shift=0.0)
+            errors.append(rel_err(model.impedance(s), exact))
+        assert errors[2] < errors[1] < errors[0]
+        assert errors[2] < 1e-4
+
+    def test_exhaustion_gives_exact_model(self):
+        net = repro.rc_ladder(6)
+        net.resistor("Rg", "n7", "0", 10.0)
+        system = repro.assemble_mna(net)
+        model = sympvl(system, order=system.size, shift=0.0)
+        s = 1j * np.logspace(7, 10, 10)
+        assert rel_err(model.impedance(s), dense_impedance(system, s)) < 1e-9
+
+
+class TestGuarantees:
+    def test_rc_guaranteed_flag(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=8, shift=0.0)
+        assert model.guaranteed_stable_passive
+        assert model.is_stable()
+
+    def test_lc_guaranteed_flag(self, lc_system):
+        model = sympvl(lc_system, order=12)
+        assert model.guaranteed_stable_passive
+        assert model.is_stable()
+
+    def test_rlc_not_guaranteed(self, rlc_system):
+        model = sympvl(rlc_system, order=8, shift=1e10)
+        assert not model.guaranteed_stable_passive
+
+
+class TestShiftResolution:
+    def test_auto_uses_zero_when_possible(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=6)
+        assert model.sigma0 == 0.0
+
+    def test_auto_falls_back_on_singular(self, lc_system):
+        sigma0, fact = resolve_shift(lc_system, "auto")
+        assert sigma0 > 0.0
+        assert fact.j_is_identity  # shifted LC matrix is SPD
+
+    def test_explicit_shift_honored(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=6, shift=3e8)
+        assert model.sigma0 == 3e8
+
+    def test_bad_policy_rejected(self, rc_two_port_system):
+        with pytest.raises(ReductionError, match="policy"):
+            resolve_shift(rc_two_port_system, "magic")
+
+    def test_explicit_singular_shift_fails_clearly(self, lc_system):
+        with pytest.raises(ReductionError, match="factor"):
+            sympvl(lc_system, order=4, shift=0.0)
+
+    def test_default_shift_positive(self, rc_two_port_system, lc_system):
+        assert default_shift(rc_two_port_system) > 0.0
+        assert default_shift(lc_system) > 0.0
+
+    def test_default_shift_needs_dynamics(self):
+        net = repro.Netlist()
+        net.port("p", "a")
+        net.resistor("R1", "a", "0", 1.0)
+        system = repro.assemble_mna(net)
+        with pytest.raises(ReductionError, match="constant"):
+            default_shift(system)
+
+
+class TestMetadata:
+    def test_metadata_populated(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=8, shift=0.0)
+        assert model.metadata["formulation"] == "rc"
+        assert "lanczos" in model.metadata
+        assert model.factorization_method != ""
+        assert model.port_names == ["in", "out"]
+
+    def test_no_ports_rejected(self, rc_two_port_system):
+        rc_two_port_system.B = np.zeros((rc_two_port_system.size, 0))
+        with pytest.raises(ReductionError, match="ports"):
+            sympvl(rc_two_port_system, order=4)
+
+
+class TestFloatingPorts:
+    def test_port_between_internal_nodes(self):
+        """Ports need not be ground-referenced for the reduction path."""
+        net = repro.Netlist()
+        net.resistor("R1", "a", "b", 100.0)
+        net.resistor("R2", "b", "c", 100.0)
+        net.resistor("R3", "c", "0", 100.0)
+        net.capacitor("C1", "b", "0", 1e-12)
+        net.capacitor("C2", "c", "0", 1e-12)
+        net.port("drive", "a")
+        net.port("sense", "b", "c")  # differential/floating port
+        system = repro.assemble_mna(net)
+        model = sympvl(system, order=system.size, shift=0.0)
+        s = 1j * np.logspace(7, 10, 9)
+        exact = dense_impedance(system, s)
+        assert rel_err(model.impedance(s), exact) < 1e-9
+        # DC sanity: Z(drive, drive) = 300 ohms; the floating port sees
+        # the b-c segment
+        z0 = dense_impedance(system, 1e-3)[0]
+        assert z0[0, 0] == pytest.approx(300.0, rel=1e-6)
+        # at DC the differential port sees only R2: node b's alternative
+        # path (R1 to the open drive node) is a dead end
+        assert z0[1, 1] == pytest.approx(100.0, rel=1e-6)

@@ -1,0 +1,64 @@
+"""Unit tests for the scalar (p = 1) SyPVL special case."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import scalar_impedance, sympvl, sypvl
+from repro.errors import ReductionError
+
+from ..conftest import dense_impedance, rel_err
+
+
+@pytest.fixture
+def one_port():
+    net = repro.rc_ladder(20)
+    net.resistor("Rg", "n21", "0", 500.0)
+    return repro.assemble_mna(net)
+
+
+class TestSypvl:
+    def test_matches_sympvl(self, one_port):
+        a = sypvl(one_port, order=8, shift=0.0)
+        b = sympvl(one_port, order=8, shift=0.0)
+        s = 1j * np.logspace(7, 10, 15)
+        assert rel_err(a.impedance(s), b.impedance(s)) < 1e-12
+
+    def test_t_is_tridiagonal(self, one_port):
+        """The p = 1 symmetric Lanczos recurrence is three-term."""
+        model = sypvl(one_port, order=10, shift=0.0)
+        t = model.metadata["lanczos"].t_recurrence
+        scale = abs(t).max()
+        for i in range(t.shape[0]):
+            for j in range(t.shape[1]):
+                if abs(i - j) > 1:
+                    assert abs(t[i, j]) < 1e-12 * scale
+
+    def test_accuracy(self, one_port):
+        model = sypvl(one_port, order=12, shift=0.0)
+        s = 1j * np.logspace(7, 10, 20)
+        exact = dense_impedance(one_port, s)
+        assert rel_err(model.impedance(s), exact) < 1e-6
+
+    def test_multi_port_rejected(self, rc_two_port_system):
+        with pytest.raises(ReductionError, match="exactly one port"):
+            sypvl(rc_two_port_system, order=4)
+
+
+class TestScalarImpedance:
+    def test_scalar_point(self, one_port):
+        model = sypvl(one_port, order=6, shift=0.0)
+        z = scalar_impedance(model, 1j * 1e9)
+        assert np.isscalar(z) or z.ndim == 0
+
+    def test_array(self, one_port):
+        model = sypvl(one_port, order=6, shift=0.0)
+        s = 1j * np.logspace(8, 9, 5)
+        z = scalar_impedance(model, s)
+        assert z.shape == (5,)
+        assert np.allclose(z, model.impedance(s)[:, 0, 0])
+
+    def test_multiport_rejected(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=6, shift=0.0)
+        with pytest.raises(ReductionError, match="one-port"):
+            scalar_impedance(model, 1j)

@@ -1,0 +1,135 @@
+"""End-to-end integration tests: small versions of the paper pipelines.
+
+Each test runs a miniature of one of the paper's section-7 experiments
+(the benchmark harness runs the paper-scale versions).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits.mna import lc_inductor_current_output, with_output_columns
+from repro.core import certify, prima, sympvl
+from repro.simulation import Step, ac_sweep, transient_ports, transient_reduced
+from repro.synthesis import synthesize_rc
+
+from ..conftest import rel_err
+
+
+class TestMiniPEEC:
+    """Section 7.1 pipeline: LC circuit, sigma = s^2, shift, 2x2 Z."""
+
+    def test_peec_pipeline(self):
+        net = repro.peec_like_lc(40)
+        system = repro.assemble_mna(net)
+        # the paper's B = [a, l]: nodal drive + inductor-current output
+        l_col = lc_inductor_current_output(net, "L20")
+        system2 = with_output_columns(system, l_col, ["i(L20)"])
+        assert system2.num_ports == 2
+
+        model = sympvl(system2, order=24)
+        assert model.guaranteed_stable_passive
+        assert model.is_stable(1e-6)
+        assert certify(model).certified
+
+        s = 1j * np.linspace(2e9, 3e10, 40)
+        exact = ac_sweep(system2, s)
+        approx = model.impedance(s)
+        assert rel_err(approx, exact.z) < 5e-2
+
+    def test_peec_order_convergence_to_match(self):
+        """Higher order gives the paper's 'perfect match' behavior."""
+        net = repro.peec_like_lc(30)
+        system = repro.assemble_mna(net)
+        s = 1j * np.linspace(2e9, 2.5e10, 30)
+        exact = ac_sweep(system, s).z
+        err_small = rel_err(sympvl(system, order=12).impedance(s), exact)
+        err_large = rel_err(sympvl(system, order=30).impedance(s), exact)
+        assert err_large < err_small
+        assert err_large < 1e-6
+
+
+class TestMiniPackage:
+    """Section 7.2 pipeline: RLC package, voltage transfer curves."""
+
+    @pytest.fixture(scope="class")
+    def package(self):
+        net = repro.package_model(n_pins=8, n_signal=2, n_sections=4)
+        return repro.assemble_mna(net)
+
+    def test_reduction_accuracy_increases_with_order(self, package):
+        s = 1j * 2 * np.pi * np.logspace(8, 9.7, 25)
+        exact = ac_sweep(package, s)
+        sigma0 = 2 * np.pi * 2e9
+        errors = {}
+        for order in (12, 24, 40):
+            model = sympvl(package, order=order, shift=sigma0)
+            errors[order] = rel_err(model.impedance(s), exact.z)
+        assert errors[40] < errors[12]
+        assert errors[40] < 2e-2
+
+    def test_voltage_transfer_curves(self, package):
+        """The Fig. 3/4 post-processing: V_int / V_ext = Z_ie / Z_ee."""
+        s = 1j * 2 * np.pi * np.logspace(8, 9.5, 15)
+        exact = ac_sweep(package, s)
+        model = sympvl(package, order=40, shift=2 * np.pi * 2e9)
+        from repro.simulation import model_sweep
+
+        reduced = model_sweep(model, s)
+        h_exact = exact.voltage_transfer("pin0_int", "pin0_ext")
+        h_model = reduced.voltage_transfer("pin0_int", "pin0_ext")
+        assert rel_err(h_model, h_exact) < 5e-2
+
+    def test_indefinite_path_used(self, package):
+        model = sympvl(package, order=16, shift=2 * np.pi * 2e9)
+        assert "bunch-kaufman" in model.factorization_method
+
+
+class TestMiniInterconnect:
+    """Section 7.3 pipeline: coupled RC bus -> reduce -> synthesize ->
+    transient, full vs reduced vs synthesized."""
+
+    def test_full_pipeline(self):
+        net = repro.coupled_rc_bus(5, 12)
+        system = repro.assemble_mna(net)
+        sigma0 = 5e9
+        model = sympvl(system, order=10, shift=sigma0)
+        report = synthesize_rc(model, prune_tol=1e-10)
+        syn_system = repro.assemble_mna(report.netlist)
+
+        assert syn_system.size < system.size / 3
+
+        t = np.linspace(0.0, 2e-9, 1501)
+        drives = {"in0": Step(amplitude=1e-3, rise=5e-11)}
+        full = transient_ports(system, drives, t)
+        reduced = transient_reduced(model, drives, t)
+        synthesized = transient_ports(syn_system, drives, t)
+
+        scale = np.abs(full.outputs).max()
+        assert np.abs(reduced.outputs - full.outputs).max() < 0.05 * scale
+        assert np.abs(synthesized.outputs - full.outputs).max() < 0.05 * scale
+
+    def test_crosstalk_observable(self):
+        """Driving one wire must couple a visible signal onto others."""
+        net = repro.coupled_rc_bus(4, 10)
+        system = repro.assemble_mna(net)
+        t = np.linspace(0.0, 1e-9, 801)
+        full = transient_ports(
+            system, {"in0": Step(amplitude=1e-3, rise=5e-11)}, t
+        )
+        victim = np.abs(full.signal("v(in1)")).max()
+        aggressor = np.abs(full.signal("v(in0)")).max()
+        assert victim > 1e-3 * aggressor
+
+
+class TestBaselineCross:
+    def test_prima_and_sympvl_agree_on_rc(self):
+        net = repro.coupled_rc_bus(4, 8)
+        system = repro.assemble_mna(net)
+        s = 1j * np.logspace(8, 10.5, 15)
+        exact = ac_sweep(system, s).z
+        sigma0 = 5e9
+        err_l = rel_err(sympvl(system, order=12, shift=sigma0).impedance(s), exact)
+        err_p = rel_err(prima(system, 12, sigma0=sigma0).impedance(s), exact)
+        assert err_l < 0.1
+        assert err_p < 10 * err_l + 1e-9

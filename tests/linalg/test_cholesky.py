@@ -1,0 +1,121 @@
+"""Unit tests for the from-scratch Cholesky factorizations."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro
+from repro.errors import FactorizationError
+from repro.linalg.cholesky import dense_cholesky, sparse_cholesky
+
+
+def spd_dense(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestDenseCholesky:
+    def test_reconstruction(self):
+        a = spd_dense(25)
+        lower = dense_cholesky(a)
+        assert np.allclose(lower @ lower.T, a)
+
+    def test_lower_triangular(self):
+        lower = dense_cholesky(spd_dense(10))
+        assert np.allclose(np.triu(lower, 1), 0.0)
+
+    def test_matches_numpy(self):
+        a = spd_dense(15, seed=3)
+        assert np.allclose(dense_cholesky(a), np.linalg.cholesky(a))
+
+    def test_indefinite_rejected(self):
+        a = np.diag([1.0, -1.0])
+        with pytest.raises(FactorizationError, match="positive definite"):
+            dense_cholesky(a)
+
+    def test_singular_rejected(self):
+        a = np.ones((3, 3))
+        with pytest.raises(FactorizationError):
+            dense_cholesky(a)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(FactorizationError, match="square"):
+            dense_cholesky(np.ones((2, 3)))
+
+
+class TestSparseCholesky:
+    def test_solve_banded(self):
+        n = 120
+        a = sp.diags(
+            [np.full(n - 1, -1.0), np.full(n, 4.0), np.full(n - 1, -1.0)],
+            [-1, 0, 1],
+        ).tocsc()
+        chol = sparse_cholesky(a)
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(n)
+        x = chol.solve(b)
+        assert np.abs(a @ x - b).max() < 1e-10
+
+    def test_matrix_rhs(self):
+        n = 40
+        a = sp.csc_matrix(spd_dense(n, seed=2))
+        chol = sparse_cholesky(a)
+        b = np.random.default_rng(1).standard_normal((n, 3))
+        x = chol.solve(b)
+        assert np.abs(a @ x - b).max() < 1e-8
+
+    def test_reconstruction_via_permutation(self):
+        g = repro.assemble_mna(repro.rc_mesh(5, 6)).G + 1e-2 * sp.eye(30)
+        chol = sparse_cholesky(sp.csc_matrix(g))
+        lower = chol.lower.toarray()
+        permuted = g.toarray()[chol.perm][:, chol.perm]
+        assert np.allclose(lower @ lower.T, permuted, atol=1e-10)
+
+    def test_natural_order_option(self):
+        a = sp.csc_matrix(spd_dense(12, seed=4))
+        chol = sparse_cholesky(a, order="natural")
+        assert chol.perm.tolist() == list(range(12))
+        lower = chol.lower.toarray()
+        assert np.allclose(lower @ lower.T, a.toarray(), atol=1e-10)
+
+    def test_indefinite_rejected(self):
+        a = sp.csc_matrix(np.diag([1.0, -2.0, 3.0]))
+        with pytest.raises(FactorizationError, match="positive definite"):
+            sparse_cholesky(a)
+
+    def test_singular_rejected(self):
+        # graph Laplacian of a path: PSD with a zero eigenvalue
+        n = 10
+        a = sp.diags(
+            [np.full(n - 1, -1.0), np.full(n, 2.0), np.full(n - 1, -1.0)],
+            [-1, 0, 1],
+        ).tolil()
+        a[0, 0] = 1.0
+        a[-1, -1] = 1.0
+        with pytest.raises(FactorizationError):
+            sparse_cholesky(a.tocsc())
+
+    def test_unknown_ordering(self):
+        with pytest.raises(FactorizationError, match="ordering"):
+            sparse_cholesky(sp.eye(3).tocsc(), order="bogus")
+
+    def test_fill_stays_bounded_on_banded(self):
+        n = 200
+        a = sp.diags(
+            [np.full(n - 1, -1.0), np.full(n, 4.0), np.full(n - 1, -1.0)],
+            [-1, 0, 1],
+        ).tocsc()
+        chol = sparse_cholesky(a)
+        assert chol.lower.nnz <= 2 * n  # bidiagonal factor
+
+    def test_triangular_solves(self):
+        n = 30
+        a = sp.csc_matrix(spd_dense(n, seed=5))
+        chol = sparse_cholesky(a)
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal(n)
+        y = chol.solve_lower(b)
+        assert np.abs(chol.lower @ y - b).max() < 1e-9
+        z = chol.solve_upper(b)
+        assert np.abs(chol.lower.T @ z - b).max() < 1e-9

@@ -1,0 +1,107 @@
+"""Unit tests for the G = M J M^T factorization facade."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro
+from repro.errors import FactorizationError
+from repro.linalg.factorization import factor_symmetric
+
+
+def reconstruct_g(fact, n):
+    """Recompose G = M J M^T using only the facade interface."""
+    eye = np.eye(n)
+    m_inv = fact.solve_m(eye)  # M^{-1}
+    m = np.linalg.inv(m_inv)
+    j = fact.apply_j(eye)
+    return m @ j @ m.T
+
+
+def spd_sparse(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return sp.csc_matrix(a @ a.T + n * np.eye(n))
+
+
+class TestMethods:
+    @pytest.mark.parametrize(
+        "method",
+        ["sparse-cholesky", "dense-cholesky", "ldlt", "ldlt-python"],
+    )
+    def test_reconstruction(self, method):
+        g = spd_sparse(18, seed=1)
+        fact = factor_symmetric(g, method=method)
+        recon = reconstruct_g(fact, 18)
+        assert np.abs(recon - g.toarray()).max() < 1e-8 * np.abs(g.toarray()).max()
+
+    @pytest.mark.parametrize("method", ["ldlt", "ldlt-python"])
+    def test_indefinite(self, method):
+        system = repro.assemble_mna(repro.rlc_line(6), "mna")
+        g = system.shifted_g(1e9).toarray()
+        fact = factor_symmetric(g, method=method)
+        recon = reconstruct_g(fact, g.shape[0])
+        assert np.abs(recon - g).max() < 1e-6 * np.abs(g).max()
+        assert not fact.j_is_identity
+
+    def test_solve_roundtrip(self):
+        g = spd_sparse(20, seed=2)
+        fact = factor_symmetric(g, method="sparse-cholesky")
+        b = np.random.default_rng(0).standard_normal(20)
+        x = fact.solve(b)
+        assert np.abs(g @ x - b).max() < 1e-8
+
+    def test_solve_mt_is_transpose_solve(self):
+        g = spd_sparse(15, seed=3)
+        fact = factor_symmetric(g, method="sparse-cholesky")
+        eye = np.eye(15)
+        m_inv = fact.solve_m(eye)
+        mt_inv = fact.solve_mt(eye)
+        assert np.allclose(mt_inv, m_inv.T, atol=1e-10)
+
+    def test_unknown_method(self):
+        with pytest.raises(FactorizationError, match="unknown"):
+            factor_symmetric(np.eye(3), method="bogus")
+
+
+class TestAuto:
+    def test_spd_uses_cholesky(self):
+        fact = factor_symmetric(spd_sparse(10))
+        assert "cholesky" in fact.method
+        assert fact.j_is_identity
+
+    def test_indefinite_falls_back_to_ldlt(self):
+        g = repro.assemble_mna(repro.rlc_line(5), "mna").shifted_g(1e9)
+        fact = factor_symmetric(g)
+        assert "bunch-kaufman" in fact.method
+
+    def test_assume_definite_true_propagates_failure(self):
+        g = sp.csc_matrix(np.diag([1.0, -1.0]))
+        with pytest.raises(FactorizationError):
+            factor_symmetric(g, assume_definite=True)
+
+    def test_assume_definite_false_skips_cholesky(self):
+        fact = factor_symmetric(spd_sparse(8), assume_definite=False)
+        assert "bunch-kaufman" in fact.method
+
+    def test_large_sparse_spd_uses_sparse_path(self):
+        g = repro.assemble_mna(repro.rc_mesh(16, 16)).G + 1e-3 * sp.eye(256)
+        fact = factor_symmetric(g.tocsc())
+        assert fact.method == "sparse-cholesky"
+
+    def test_singular_matrix_detected(self):
+        # chain Laplacian: PSD singular -> both paths must refuse
+        n = 12
+        g = sp.diags(
+            [np.full(n - 1, -1.0), np.full(n, 2.0), np.full(n - 1, -1.0)],
+            [-1, 0, 1],
+        ).tolil()
+        g[0, 0] = 1.0
+        g[-1, -1] = 1.0
+        with pytest.raises(FactorizationError):
+            factor_symmetric(g.tocsc())
+
+    def test_dense_limit_enforced(self):
+        big = sp.eye(7000, format="csc") * -1.0  # indefinite, too big for dense
+        with pytest.raises(FactorizationError, match="too large"):
+            factor_symmetric(big)

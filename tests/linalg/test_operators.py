@@ -1,0 +1,82 @@
+"""Unit tests for the Lanczos operator wrapper.
+
+The defining identity is ``Z(s) = R^T (I + (s - s0) K)^{-1} J^{-1} R``
+with ``R = M^{-1} B`` and ``K = J^{-1} M^{-1} C M^{-T}``; these tests
+check it to machine precision for both the Cholesky (J = I) and the
+Bunch-Kaufman (J != I) paths.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.linalg.factorization import factor_symmetric
+from repro.linalg.operators import LanczosOperator
+
+from ..conftest import dense_impedance
+
+
+def operator_dense(op, n):
+    return np.column_stack([op.apply(np.eye(n)[:, k]) for k in range(n)])
+
+
+class TestIdentity:
+    def test_rc_path_j_identity(self, rc_two_port_system):
+        system = rc_two_port_system
+        fact = factor_symmetric(system.G)
+        op = LanczosOperator(fact, system.C, system.B)
+        assert op.j_is_identity
+        n = system.size
+        k_mat = operator_dense(op, n)
+        s = 1j * 2e9
+        z_direct = dense_impedance(system, s)[0]
+        z_op = op.reduced_input().T @ np.linalg.solve(
+            np.eye(n) + s * k_mat, op.start_block()
+        )
+        assert np.abs(z_direct - z_op).max() < 1e-10 * np.abs(z_direct).max()
+
+    def test_rlc_path_with_shift(self, rlc_system):
+        system = rlc_system
+        sigma0 = 1e9
+        fact = factor_symmetric(system.shifted_g(sigma0))
+        op = LanczosOperator(fact, system.C, system.B)
+        assert not op.j_is_identity
+        n = system.size
+        k_mat = operator_dense(op, n)
+        s = 1j * 5e9
+        z_direct = dense_impedance(system, s)[0]
+        z_op = op.reduced_input().T @ np.linalg.solve(
+            np.eye(n) + (s - sigma0) * k_mat, op.start_block()
+        )
+        assert np.abs(z_direct - z_op).max() < 1e-8 * np.abs(z_direct).max()
+
+    def test_k_is_j_symmetric(self, rlc_system):
+        """J K must be symmetric (the property Algorithm 1 exploits)."""
+        fact = factor_symmetric(rlc_system.shifted_g(1e9))
+        op = LanczosOperator(fact, rlc_system.C, rlc_system.B)
+        n = rlc_system.size
+        k_mat = operator_dense(op, n)
+        jk = op.j_product(k_mat)
+        assert np.abs(jk - jk.T).max() < 1e-8 * max(np.abs(jk).max(), 1e-300)
+
+    def test_start_block_shape(self, rc_two_port_system):
+        fact = factor_symmetric(rc_two_port_system.G)
+        op = LanczosOperator(fact, rc_two_port_system.C, rc_two_port_system.B)
+        assert op.start_block().shape == (rc_two_port_system.size, 2)
+        assert op.num_inputs == 2
+        assert op.size == rc_two_port_system.size
+
+    def test_j_inner_matches_metric(self, rlc_system):
+        fact = factor_symmetric(rlc_system.shifted_g(1e9))
+        op = LanczosOperator(fact, rlc_system.C, rlc_system.B)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(rlc_system.size)
+        y = rng.standard_normal(rlc_system.size)
+        j_dense = fact.apply_j(np.eye(rlc_system.size))
+        assert op.j_inner(x, y) == pytest.approx(x @ j_dense @ y)
+
+    def test_vector_b_promoted(self, rc_two_port_system):
+        fact = factor_symmetric(rc_two_port_system.G)
+        op = LanczosOperator(fact, rc_two_port_system.C,
+                             rc_two_port_system.B[:, 0])
+        assert op.num_inputs == 1

@@ -1,0 +1,89 @@
+"""Unit tests for fill-reducing orderings."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro
+from repro.linalg.ordering import (
+    adjacency_lists,
+    minimum_degree_ordering,
+    profile,
+    rcm_ordering,
+)
+
+
+def laplacian_path(n):
+    return sp.diags(
+        [np.full(n - 1, -1.0), np.full(n, 2.0), np.full(n - 1, -1.0)], [-1, 0, 1]
+    ).tocsr()
+
+
+class TestAdjacency:
+    def test_no_self_loops(self):
+        a = sp.eye(4).tocsr()
+        assert adjacency_lists(a) == [[], [], [], []]
+
+    def test_symmetric_pattern(self):
+        a = sp.csr_matrix(np.array([[1.0, 2.0, 0], [0, 1.0, 0], [0, 3.0, 1.0]]))
+        adj = adjacency_lists(a)
+        assert adj[0] == [1]
+        assert adj[1] == [0, 2]
+        assert adj[2] == [1]
+
+
+class TestRCM:
+    def test_is_permutation(self):
+        g = repro.assemble_mna(repro.rc_mesh(6, 7)).G
+        p = rcm_ordering(g)
+        assert sorted(p.tolist()) == list(range(g.shape[0]))
+
+    def test_reduces_profile_on_shuffled_path(self):
+        n = 60
+        rng = np.random.default_rng(0)
+        shuffle = rng.permutation(n)
+        a = laplacian_path(n)[shuffle][:, shuffle]
+        assert profile(a, rcm_ordering(a)) <= profile(a)
+
+    def test_path_gets_optimal_bandwidth(self):
+        n = 30
+        rng = np.random.default_rng(1)
+        shuffle = rng.permutation(n)
+        a = laplacian_path(n)[shuffle][:, shuffle].tocsr()
+        p = rcm_ordering(a)
+        permuted = a[p][:, p].tocoo()
+        bandwidth = int(np.abs(permuted.row - permuted.col).max())
+        assert bandwidth == 1
+
+    def test_disconnected_components_handled(self):
+        a = sp.block_diag([laplacian_path(5), laplacian_path(4)]).tocsr()
+        p = rcm_ordering(a)
+        assert sorted(p.tolist()) == list(range(9))
+
+
+class TestMinimumDegree:
+    def test_is_permutation(self):
+        g = repro.assemble_mna(repro.rc_mesh(5, 5)).G
+        p = minimum_degree_ordering(g)
+        assert sorted(p.tolist()) == list(range(g.shape[0]))
+
+    def test_star_center_eliminated_last(self):
+        # star graph: leaves have degree 1, center degree n-1
+        n = 8
+        a = sp.lil_matrix((n, n))
+        for k in range(1, n):
+            a[0, k] = a[k, 0] = 1.0
+            a[k, k] = 1.0
+        a[0, 0] = 1.0
+        order = minimum_degree_ordering(a.tocsr()).tolist()
+        assert order[-1] == 0 or order[0] != 0  # center never first
+        assert order[0] != 0
+
+
+class TestProfile:
+    def test_diagonal_matrix_zero_profile(self):
+        assert profile(sp.eye(5).tocsr()) == 0
+
+    def test_identity_permutation_default(self):
+        a = laplacian_path(10)
+        assert profile(a) == profile(a, np.arange(10))

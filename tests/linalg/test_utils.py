@@ -1,0 +1,63 @@
+"""Unit tests for linalg helpers."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.utils import (
+    is_positive_semidefinite,
+    is_symmetric,
+    min_eigenvalue,
+    relative_error,
+    symmetrize,
+)
+
+
+class TestSymmetry:
+    def test_dense(self):
+        assert is_symmetric(np.array([[1.0, 2.0], [2.0, 3.0]]))
+        assert not is_symmetric(np.array([[1.0, 2.0], [2.1, 3.0]]))
+
+    def test_sparse(self):
+        a = sp.csr_matrix(np.array([[1.0, 2.0], [2.0, 3.0]]))
+        assert is_symmetric(a)
+        a[0, 1] = 5.0
+        assert not is_symmetric(a.tocsr())
+
+    def test_tolerance_is_relative(self):
+        a = np.array([[1e12, 2e12], [2e12 * (1 + 1e-12), 1e12]])
+        assert is_symmetric(a)
+
+    def test_symmetrize(self):
+        a = np.array([[0.0, 1.0], [3.0, 0.0]])
+        s = symmetrize(a)
+        assert np.allclose(s, s.T)
+        assert s[0, 1] == 2.0
+
+    def test_symmetrize_sparse(self):
+        a = sp.csr_matrix(np.array([[0.0, 1.0], [3.0, 0.0]]))
+        s = symmetrize(a)
+        assert (abs(s - s.T)).max() == 0.0
+
+
+class TestEigen:
+    def test_min_eigenvalue(self):
+        assert min_eigenvalue(np.diag([3.0, -2.0, 5.0])) == -2.0
+
+    def test_psd(self):
+        assert is_positive_semidefinite(np.diag([0.0, 1.0]))
+        assert not is_positive_semidefinite(np.diag([-1.0, 1.0]))
+
+    def test_psd_sparse(self):
+        assert is_positive_semidefinite(sp.eye(4).tocsr())
+
+    def test_empty(self):
+        assert is_positive_semidefinite(np.zeros((0, 0)))
+
+
+class TestRelativeError:
+    def test_exact(self):
+        a = np.ones((2, 2))
+        assert relative_error(a, a) == 0.0
+
+    def test_zero_reference(self):
+        assert relative_error(np.ones(2), np.zeros(2)) > 0

@@ -1,0 +1,74 @@
+"""Property-based tests for the linear-algebra substrate."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.linalg.cholesky import dense_cholesky, sparse_cholesky
+from repro.linalg.ldlt import bunch_kaufman
+from repro.linalg.ordering import profile, rcm_ordering
+
+sizes = st.integers(min_value=1, max_value=25)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def random_spd(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+def random_symmetric(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a = 0.5 * (a + a.T)
+    # keep it comfortably nonsingular
+    return a + np.diag(np.sign(np.diag(a)) + 0.5) * 0.1
+
+
+@given(n=sizes, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_dense_cholesky_reconstructs(n, seed):
+    a = random_spd(n, seed)
+    lower = dense_cholesky(a)
+    assert np.abs(lower @ lower.T - a).max() <= 1e-9 * np.abs(a).max()
+
+
+@given(n=sizes, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_sparse_cholesky_solves(n, seed):
+    a = sp.csc_matrix(random_spd(n, seed))
+    chol = sparse_cholesky(a)
+    rng = np.random.default_rng(seed + 1)
+    b = rng.standard_normal(n)
+    x = chol.solve(b)
+    assert np.abs(a @ x - b).max() <= 1e-7 * max(np.abs(b).max(), 1.0)
+
+
+@given(n=st.integers(min_value=1, max_value=30), seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_bunch_kaufman_reconstructs_and_counts_inertia(n, seed):
+    a = random_symmetric(n, seed)
+    fact = bunch_kaufman(a)
+    assert np.abs(fact.reconstruct() - a).max() <= 1e-8 * np.abs(a).max()
+    pos, neg, zero = fact.j.inertia()
+    eigs = np.linalg.eigvalsh(a)
+    assert pos == int((eigs > 0).sum())
+    assert neg == int((eigs < 0).sum())
+
+
+@given(n=st.integers(min_value=2, max_value=40), seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_rcm_is_permutation_and_never_hurts_much(n, seed):
+    rng = np.random.default_rng(seed)
+    # random sparse symmetric pattern
+    density = 3.0 / n
+    mask = rng.random((n, n)) < density
+    mask = mask | mask.T
+    np.fill_diagonal(mask, True)
+    a = sp.csr_matrix(mask.astype(float))
+    perm = rcm_ordering(a)
+    assert sorted(perm.tolist()) == list(range(n))
+    assert profile(a, perm) >= 0

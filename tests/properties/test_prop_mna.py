@@ -1,0 +1,80 @@
+"""Property-based tests: MNA structure over random passive circuits.
+
+Paper section 2: the MNA matrices of any passive circuit are symmetric,
+and for the RC/RL/LC classes the transformed matrices are PSD.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.linalg.utils import is_positive_semidefinite, is_symmetric
+
+kinds = st.sampled_from(["RC", "RL", "LC", "RLC"])
+sizes = st.integers(min_value=2, max_value=20)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@given(kind=kinds, n=sizes, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_mna_matrices_symmetric(kind, n, seed):
+    net = repro.random_passive(kind, n, seed=seed)
+    system = repro.assemble_mna(net)
+    assert is_symmetric(system.G, tol=1e-9)
+    assert is_symmetric(system.C, tol=1e-9)
+
+
+@given(kind=st.sampled_from(["RC", "RL", "LC"]), n=sizes, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_special_forms_psd(kind, n, seed):
+    net = repro.random_passive(kind, n, seed=seed)
+    system = repro.assemble_mna(net)
+    assert system.psd_guaranteed
+    assert is_positive_semidefinite(system.G, tol=1e-7)
+    assert is_positive_semidefinite(system.C, tol=1e-7)
+
+
+@given(kind=kinds, n=sizes, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_transformed_forms_agree_with_general_mna(kind, n, seed):
+    """Z(s) from the class-specific form equals Z(s) from raw MNA."""
+    net = repro.random_passive(kind, n, seed=seed)
+    special = repro.assemble_mna(net)
+    general = repro.assemble_mna(net, "mna")
+    s = 1j * np.logspace(8, 10, 5)
+
+    def z(system):
+        g = system.G.toarray()
+        c = system.C.toarray()
+        b = system.B
+        sigma = np.atleast_1d(system.transfer.sigma(s))
+        pref = np.atleast_1d(np.asarray(system.transfer.prefactor(s)))
+        if pref.size == 1:
+            pref = np.full(s.size, pref.ravel()[0])
+        return np.array(
+            [
+                pref[k] * (b.T @ np.linalg.solve(g + sigma[k] * c, b))
+                for k in range(s.size)
+            ]
+        )
+
+    z_special = z(special)
+    z_general = z(general)
+    scale = np.abs(z_general).max()
+    assert np.abs(z_special - z_general).max() <= 1e-7 * scale
+
+
+@given(kind=kinds, n=sizes, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_impedance_matrix_symmetric(kind, n, seed):
+    """Reciprocity: Z(s) of any RLC multi-port is symmetric."""
+    net = repro.random_passive(kind, n, seed=seed, n_ports=2)
+    system = repro.assemble_mna(net)
+    s = 1j * 3e9
+    g = system.G.toarray()
+    c = system.C.toarray()
+    z = system.B.T @ np.linalg.solve(
+        g + complex(system.transfer.sigma(s)) * c, system.B
+    )
+    assert np.abs(z - z.T).max() <= 1e-8 * max(np.abs(z).max(), 1e-300)

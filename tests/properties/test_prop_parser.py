@@ -1,0 +1,37 @@
+"""Property-based round-trip tests for the netlist parser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.circuits.parser import parse_netlist, parse_value, write_netlist
+
+
+@given(
+    kind=st.sampled_from(["RC", "RL", "LC", "RLC"]),
+    n=st.integers(min_value=2, max_value=15),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_write_parse_round_trip(kind, n, seed):
+    net = repro.random_passive(kind, n, seed=seed)
+    recovered = parse_netlist(write_netlist(net))
+    assert len(recovered) == len(net)
+    for original, parsed in zip(net, recovered):
+        assert original == parsed
+
+
+@given(
+    mantissa=st.floats(
+        min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+    ),
+    suffix=st.sampled_from(["", "f", "p", "n", "u", "m", "k", "meg", "g", "t"]),
+)
+@settings(max_examples=100, deadline=None)
+def test_parse_value_suffix_semantics(mantissa, suffix):
+    scales = {
+        "": 1.0, "f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6,
+        "m": 1e-3, "k": 1e3, "meg": 1e6, "g": 1e9, "t": 1e12,
+    }
+    token = f"{mantissa!r}{suffix}"
+    assert parse_value(token) == mantissa * scales[suffix]

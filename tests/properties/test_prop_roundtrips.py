@@ -1,0 +1,94 @@
+"""Property-based round-trips across the model life cycle.
+
+Covers the pipelines a downstream user chains: serialize/deserialize,
+Foster-vs-Cauer synthesis equivalence, and stamping-vs-merging
+equivalence for the macromodel workflow.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.errors import ReductionError, SynthesisError
+from repro.io import load_model, save_model
+from repro.simulation import Step, ac_sweep, transient_netlist
+
+sizes = st.integers(min_value=5, max_value=14)
+seeds = st.integers(min_value=0, max_value=10_000)
+orders = st.integers(min_value=2, max_value=8)
+
+
+@given(
+    kind=st.sampled_from(["RC", "RL", "LC", "RLC"]),
+    n=sizes,
+    seed=seeds,
+    order=orders,
+)
+@settings(max_examples=30, deadline=None)
+def test_save_load_round_trip(kind, n, seed, order, tmp_path_factory):
+    net = repro.random_passive(kind, n, seed=seed, n_ports=2)
+    system = repro.assemble_mna(net)
+    try:
+        model = repro.sympvl(system, order=max(order, 2))
+    except ReductionError:
+        return
+    path = tmp_path_factory.mktemp("models") / "m.npz"
+    save_model(model, path)
+    loaded = load_model(path)
+    s = 1j * np.logspace(8, 10, 5)
+    assert np.allclose(loaded.impedance(s), model.impedance(s))
+    assert loaded.transfer == model.transfer
+    assert loaded.guaranteed_stable_passive == model.guaranteed_stable_passive
+
+
+@given(n=sizes, seed=seeds, order=st.integers(min_value=2, max_value=8))
+@settings(max_examples=25, deadline=None)
+def test_foster_and_cauer_agree(n, seed, order):
+    """Two independent one-port realizations of the same model must
+    have identical impedance."""
+    net = repro.random_passive("RC", n, seed=seed, n_ports=1)
+    system = repro.assemble_mna(net)
+    try:
+        model = repro.sympvl(system, order=order)
+        foster = repro.synthesize_foster(model)
+        cauer = repro.synthesize_cauer(model)
+    except (ReductionError, SynthesisError):
+        return
+    s = 1j * np.logspace(7.5, 10, 6)
+    z_f = ac_sweep(repro.assemble_mna(foster), s).z[:, 0, 0]
+    z_c = ac_sweep(repro.assemble_mna(cauer), s).z[:, 0, 0]
+    scale = max(np.abs(z_f).max(), 1e-300)
+    assert np.abs(z_f - z_c).max() <= 1e-5 * scale
+
+
+@given(seed=seeds, order=st.integers(min_value=4, max_value=10))
+@settings(max_examples=12, deadline=None)
+def test_stamping_matches_merging(seed, order):
+    """host + macromodel == host + full block, up to truncation error
+    that must shrink as the full order is approached."""
+    block = repro.random_passive("RC", 10, seed=seed, n_ports=2)
+    system = repro.assemble_mna(block)
+    try:
+        model = repro.sympvl(system, order=system.size)  # exact model
+    except ReductionError:
+        return
+    host = repro.Netlist()
+    host.isource("Iin", "h1", "0", 0.0)
+    host.resistor("Rh", "h1", "0", 150.0)
+    host.capacitor("Ch", "h2", "0", 2e-12)
+    connections = {
+        block.port_names[0]: "h1",
+        block.port_names[1]: "h2",
+    }
+    try:
+        stamped = repro.stamp_reduced_model(host, model, connections)
+    except SynthesisError:
+        return  # e.g. deflated rho (rank-deficient port map)
+    reference = repro.merge_netlists(host, block, connections)
+    t = np.linspace(0.0, 4e-8, 601)
+    wave = Step(amplitude=1e-3, rise=4e-10)
+    full = transient_netlist(reference, {"Iin": wave}, t, outputs=["h1", "h2"])
+    fast = stamped.transient({"Iin": wave}, t, outputs=["h1", "h2"])
+    scale = max(np.abs(full.outputs).max(), 1e-300)
+    assert np.abs(fast.outputs - full.outputs).max() <= 1e-5 * scale

@@ -1,0 +1,71 @@
+"""Property-based tests of the paper's section-5 theorems.
+
+For RC, RL, and LC circuits the reduced-order models must be stable and
+passive at *every* order -- over random circuits, random orders, and
+random expansion shifts.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core import certify, positive_real_margin, sympvl
+from repro.errors import ReductionError
+
+guaranteed_kinds = st.sampled_from(["RC", "RL", "LC"])
+sizes = st.integers(min_value=4, max_value=16)
+seeds = st.integers(min_value=0, max_value=10_000)
+orders = st.integers(min_value=1, max_value=12)
+
+
+@given(kind=guaranteed_kinds, n=sizes, seed=seeds, order=orders)
+@settings(max_examples=50, deadline=None)
+def test_guaranteed_stability_every_order(kind, n, seed, order):
+    net = repro.random_passive(kind, n, seed=seed)
+    system = repro.assemble_mna(net)
+    try:
+        model = sympvl(system, order=order)
+    except ReductionError:
+        return
+    assert model.guaranteed_stable_passive
+    assert model.is_stable(tol=1e-6)
+    assert certify(model, tol=1e-6).certified
+
+
+@given(kind=guaranteed_kinds, n=sizes, seed=seeds, order=orders)
+@settings(max_examples=30, deadline=None)
+def test_guaranteed_passivity_every_order(kind, n, seed, order):
+    net = repro.random_passive(kind, n, seed=seed)
+    system = repro.assemble_mna(net)
+    try:
+        model = sympvl(system, order=order)
+    except ReductionError:
+        return
+    # sample strictly inside C+ (condition iii's domain); lossless models
+    # have poles ON the j-omega axis itself
+    omega = np.logspace(7, 11, 12)
+    samples = (0.05 + 1j) * omega
+    z_scale = max(np.abs(model.impedance(samples)).max(), 1e-300)
+    margin = positive_real_margin(
+        model, omega, damping=0.05, real_axis_points=3
+    )
+    assert margin >= -1e-7 * z_scale
+
+
+@given(n=sizes, seed=seeds, order=orders)
+@settings(max_examples=25, deadline=None)
+def test_shifted_rc_models_keep_guarantee(n, seed, order):
+    """The interlacing argument extends the theorem to sigma0 > 0."""
+    net = repro.random_passive("RC", n, seed=seed)
+    system = repro.assemble_mna(net)
+    rng = np.random.default_rng(seed)
+    sigma0 = 10.0 ** rng.uniform(7, 10)
+    try:
+        model = sympvl(system, order=order, shift=float(sigma0))
+    except ReductionError:
+        return
+    assert model.is_stable(tol=1e-6)
+    cert = certify(model, tol=1e-6)
+    assert cert.t_positive_semidefinite
+    assert cert.shift_bound_holds

@@ -1,0 +1,107 @@
+"""Property-based time-domain tests.
+
+Two physical invariants:
+
+* **Superposition**: the transient engines are linear -- the response to
+  the sum of two drives equals the sum of responses (integrator
+  correctness under arbitrary waveforms).
+* **Energy dissipation**: a *passive* multi-port absorbs non-negative
+  net energy, ``integral v(t)^T i(t) dt >= 0``, for any drive -- the
+  time-domain face of the section-5 passivity theorem, checked on
+  guaranteed reduced models under random piecewise-linear drives.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.errors import ReductionError
+from repro.simulation import PiecewiseLinear, transient_ports, transient_reduced
+
+drive_values = st.lists(
+    st.floats(min_value=-1e-3, max_value=1e-3, allow_nan=False),
+    min_size=3,
+    max_size=6,
+)
+
+
+def pwl_from(values, t_end=2e-8):
+    times = tuple(np.linspace(0.0, t_end, len(values)))
+    # start from zero so the zero initial condition is consistent
+    vals = (0.0,) + tuple(values[1:])
+    return PiecewiseLinear(times, vals)
+
+
+paired_values = st.lists(
+    st.tuples(
+        st.floats(min_value=-1e-3, max_value=1e-3, allow_nan=False),
+        st.floats(min_value=-1e-3, max_value=1e-3, allow_nan=False),
+    ),
+    min_size=3,
+    max_size=6,
+)
+
+
+@given(pairs=paired_values, seed=st.integers(min_value=0, max_value=5000))
+@settings(max_examples=20, deadline=None)
+def test_superposition(pairs, seed):
+    values_a = [p[0] for p in pairs]
+    values_b = [p[1] for p in pairs]
+    net = repro.random_passive("RC", 10, seed=seed)
+    system = repro.assemble_mna(net)
+    t = np.linspace(0.0, 2e-8, 301)
+    wave_a = pwl_from(values_a)
+    wave_b = pwl_from(values_b)
+    combined = PiecewiseLinear(
+        wave_a.times, tuple(a + b for a, b in zip(wave_a.values, wave_b.values))
+    )
+    names = system.port_names
+    ra = transient_ports(system, {names[0]: wave_a}, t)
+    rb = transient_ports(system, {names[0]: wave_b}, t)
+    rc = transient_ports(system, {names[0]: combined}, t)
+    scale = max(np.abs(rc.outputs).max(), 1e-12)
+    assert np.abs(ra.outputs + rb.outputs - rc.outputs).max() <= 1e-8 * scale
+
+
+@given(values=drive_values, seed=st.integers(min_value=0, max_value=5000),
+       order=st.integers(min_value=2, max_value=8))
+@settings(max_examples=25, deadline=None)
+def test_energy_dissipation_of_guaranteed_models(values, seed, order):
+    """integral v . i dt >= 0 for passive (RC-guaranteed) reduced models."""
+    net = repro.random_passive("RC", 10, seed=seed)
+    system = repro.assemble_mna(net)
+    try:
+        model = repro.sympvl(system, order=order)
+    except ReductionError:
+        return
+    if not model.guaranteed_stable_passive:
+        return
+    t = np.linspace(0.0, 5e-8, 601)
+    wave = pwl_from(values, t_end=5e-8)
+    names = model.port_names
+    result = transient_reduced(model, {names[0]: wave}, t)
+    current = np.zeros((t.size, len(names)))
+    current[:, 0] = wave(t)
+    power = np.einsum("ij,ij->i", result.outputs, current)
+    energy = np.trapezoid(power, t)
+    scale = max(np.abs(power).max() * (t[-1] - t[0]), 1e-300)
+    assert energy >= -1e-7 * scale
+
+
+@given(values=drive_values, seed=st.integers(min_value=0, max_value=5000))
+@settings(max_examples=15, deadline=None)
+def test_full_circuit_dissipates(values, seed):
+    """Sanity for the oracle itself: the full passive circuit dissipates."""
+    net = repro.random_passive("RC", 8, seed=seed)
+    system = repro.assemble_mna(net)
+    t = np.linspace(0.0, 5e-8, 601)
+    wave = pwl_from(values, t_end=5e-8)
+    names = system.port_names
+    result = transient_ports(system, {names[0]: wave}, t)
+    current = np.zeros((t.size, len(names)))
+    current[:, 0] = wave(t)
+    power = np.einsum("ij,ij->i", result.outputs, current)
+    energy = np.trapezoid(power, t)
+    scale = max(np.abs(power).max() * (t[-1] - t[0]), 1e-300)
+    assert energy >= -1e-7 * scale

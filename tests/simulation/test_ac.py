@@ -1,0 +1,84 @@
+"""Unit tests for exact AC analysis."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import SimulationError
+from repro.simulation.ac import ac_kernel, ac_sweep, model_sweep
+
+from ..conftest import dense_impedance, rel_err
+
+
+class TestAcSweep:
+    def test_matches_dense_oracle(self, rc_two_port_system):
+        s = 1j * np.logspace(7, 10, 11)
+        resp = ac_sweep(rc_two_port_system, s)
+        assert rel_err(resp.z, dense_impedance(rc_two_port_system, s)) < 1e-10
+
+    def test_lc_transfer_map_applied(self, lc_system):
+        s = 1j * np.linspace(1e9, 5e9, 7)
+        resp = ac_sweep(lc_system, s)
+        assert rel_err(resp.z, dense_impedance(lc_system, s)) < 1e-9
+
+    def test_rl_prefactor(self):
+        net = repro.Netlist()
+        net.port("p", "a")
+        net.inductor("L1", "a", "0", 2e-9)
+        system = repro.assemble_mna(net)
+        resp = ac_sweep(system, np.array([1j * 1e9]))
+        assert resp.z[0, 0, 0] == pytest.approx(1j * 1e9 * 2e-9)
+
+    def test_symmetric_z(self, rc_two_port_system):
+        resp = ac_sweep(rc_two_port_system, 1j * np.array([1e8, 1e9]))
+        for zk in resp.z:
+            assert np.abs(zk - zk.T).max() < 1e-9 * np.abs(zk).max()
+
+    def test_singular_point_rejected(self, lc_system):
+        # sigma = 0 is exactly the singular point of the LC kernel
+        with pytest.raises(SimulationError, match="singular"):
+            ac_kernel(lc_system, np.array([0.0]))
+
+    def test_label_and_ports(self, rc_two_port_system):
+        resp = ac_sweep(rc_two_port_system, np.array([1j * 1e9]), label="x")
+        assert resp.label == "x"
+        assert resp.port_names == ["in", "out"]
+
+
+class TestModelSweep:
+    def test_wraps_model(self, rc_two_port_system):
+        from repro.core import sympvl
+
+        model = sympvl(rc_two_port_system, order=8, shift=0.0)
+        s = 1j * np.logspace(7, 9, 5)
+        resp = model_sweep(model, s)
+        assert resp.z.shape == (5, 2, 2)
+        assert "n=8" in resp.label
+        assert np.allclose(resp.z, model.impedance(s))
+
+
+class TestFrequencyResponseHelpers:
+    def test_entry_by_name_and_index(self, rc_two_port_system):
+        resp = ac_sweep(rc_two_port_system, 1j * np.array([1e8, 1e9]))
+        assert np.allclose(resp.entry("in", "out"), resp.entry(0, 1))
+
+    def test_unknown_port(self, rc_two_port_system):
+        resp = ac_sweep(rc_two_port_system, np.array([1j * 1e9]))
+        with pytest.raises(SimulationError, match="unknown port"):
+            resp.entry("bogus", 0)
+
+    def test_voltage_transfer_definition(self, rc_two_port_system):
+        resp = ac_sweep(rc_two_port_system, 1j * np.array([1e9]))
+        h = resp.voltage_transfer("out", "in")
+        assert h[0] == pytest.approx(resp.z[0, 1, 0] / resp.z[0, 0, 0])
+
+    def test_magnitude_db(self, rc_two_port_system):
+        resp = ac_sweep(rc_two_port_system, 1j * np.array([1e9]))
+        db = resp.magnitude_db("in", "in")
+        assert db[0] == pytest.approx(20 * np.log10(abs(resp.z[0, 0, 0])))
+
+    def test_frequency_axes(self, rc_two_port_system):
+        s = 1j * 2 * np.pi * np.array([1e9])
+        resp = ac_sweep(rc_two_port_system, s)
+        assert resp.frequency_hz[0] == pytest.approx(1e9)
+        assert resp.omega[0] == pytest.approx(2 * np.pi * 1e9)

@@ -1,0 +1,39 @@
+"""Unit tests for result containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.results import FrequencyResponse, TransientResult
+
+
+class TestFrequencyResponse:
+    def test_shape_validation(self):
+        with pytest.raises(SimulationError):
+            FrequencyResponse(
+                s=np.array([1j]), z=np.zeros((2, 1, 1)), port_names=["p"]
+            )
+
+    def test_magnitude_floor(self):
+        resp = FrequencyResponse(
+            s=np.array([1j]), z=np.zeros((1, 1, 1)), port_names=["p"]
+        )
+        assert resp.magnitude_db(0, 0)[0] == pytest.approx(-400.0)
+
+
+class TestTransientResult:
+    def test_shape_validation(self):
+        with pytest.raises(SimulationError):
+            TransientResult(
+                t=np.zeros(3), outputs=np.zeros((2, 1)), output_names=["a"]
+            )
+
+    def test_signal_by_name(self):
+        res = TransientResult(
+            t=np.zeros(2),
+            outputs=np.array([[1.0, 2.0], [3.0, 4.0]]),
+            output_names=["a", "b"],
+        )
+        assert res.signal("b").tolist() == [2.0, 4.0]
+        with pytest.raises(SimulationError, match="unknown output"):
+            res.signal("c")

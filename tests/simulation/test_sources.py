@@ -1,0 +1,74 @@
+"""Unit tests for source waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.sources import DC, PiecewiseLinear, Pulse, Sine, Step
+
+
+class TestDC:
+    def test_constant(self):
+        w = DC(2.5)
+        assert np.all(w(np.linspace(0, 1, 5)) == 2.5)
+
+
+class TestStep:
+    def test_profile(self):
+        w = Step(amplitude=2.0, delay=1.0, rise=1.0)
+        t = np.array([0.0, 1.0, 1.5, 2.0, 5.0])
+        assert w(t) == pytest.approx([0.0, 0.0, 1.0, 2.0, 2.0])
+
+    def test_zero_rise_rejected(self):
+        with pytest.raises(SimulationError):
+            Step(rise=0.0)
+
+
+class TestPulse:
+    def test_single_pulse(self):
+        w = Pulse(v1=0.0, v2=1.0, delay=1.0, rise=1.0, fall=1.0, width=2.0)
+        t = np.array([0.0, 1.5, 2.0, 3.0, 4.5, 5.0, 10.0])
+        assert w(t) == pytest.approx([0.0, 0.5, 1.0, 1.0, 0.5, 0.0, 0.0])
+
+    def test_periodic(self):
+        w = Pulse(delay=0.0, rise=0.1, fall=0.1, width=0.3, period=1.0)
+        assert w(0.2) == pytest.approx(w(1.2))
+        assert w(0.2) == pytest.approx(w(5.2))
+
+    def test_before_delay_is_baseline(self):
+        w = Pulse(v1=0.5, v2=1.0, delay=2.0, period=1.0)
+        assert w(np.array([0.0, 1.0])) == pytest.approx([0.5, 0.5])
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Pulse(rise=0.0)
+        with pytest.raises(SimulationError):
+            Pulse(width=-1.0)
+
+
+class TestPWL:
+    def test_interpolation(self):
+        w = PiecewiseLinear((0.0, 1.0, 2.0), (0.0, 2.0, 0.0))
+        assert w(0.5) == pytest.approx(1.0)
+        assert w(1.5) == pytest.approx(1.0)
+
+    def test_clamps_outside(self):
+        w = PiecewiseLinear((0.0, 1.0), (1.0, 3.0))
+        assert w(-5.0) == pytest.approx(1.0)
+        assert w(5.0) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PiecewiseLinear((0.0,), (1.0,))
+        with pytest.raises(SimulationError):
+            PiecewiseLinear((0.0, 0.0), (1.0, 2.0))
+
+
+class TestSine:
+    def test_value(self):
+        w = Sine(amplitude=2.0, frequency=1.0, offset=1.0)
+        assert w(0.25) == pytest.approx(3.0)
+
+    def test_silent_before_delay(self):
+        w = Sine(amplitude=1.0, frequency=1.0, delay=1.0)
+        assert w(0.5) == pytest.approx(0.0)

@@ -1,0 +1,246 @@
+"""Unit tests for the transient integrators.
+
+Analytic oracle: a single R parallel C driven by a current step has
+``v(t) = I R (1 - exp(-t / RC))``.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import sympvl
+from repro.errors import SimulationError
+from repro.simulation.sources import DC, Step
+from repro.simulation.transient import (
+    transient_netlist,
+    transient_ports,
+    transient_reduced,
+)
+
+
+@pytest.fixture
+def rc_cell():
+    net = repro.Netlist()
+    net.port("in", "a")
+    net.resistor("R1", "a", "0", 1e3)
+    net.capacitor("C1", "a", "0", 1e-12)
+    return repro.assemble_mna(net)
+
+
+def analytic_rc(t, current=1e-3, r=1e3, c=1e-12, rise=1e-12):
+    tau = r * c
+    # response to the ramp-step used by Step(rise=...) ~ ideal for rise << tau
+    return current * r * (1.0 - np.exp(-np.maximum(t - rise, 0.0) / tau))
+
+
+class TestAnalyticRC:
+    @pytest.mark.parametrize("method", ["trapezoidal", "backward-euler"])
+    def test_step_response(self, rc_cell, method):
+        t = np.linspace(0, 5e-9, 2001)
+        res = transient_ports(
+            rc_cell, {"in": Step(amplitude=1e-3, rise=1e-12)}, t, method=method
+        )
+        v = res.signal("v(in)")
+        expected = analytic_rc(t)
+        tol = 2e-3 if method == "trapezoidal" else 2e-2
+        assert np.abs(v - expected).max() < tol * expected.max()
+
+    def test_trapezoidal_second_order_convergence(self, rc_cell):
+        errors = []
+        for n in (500, 1000, 2000):
+            t = np.linspace(0, 5e-9, n + 1)
+            res = transient_ports(
+                rc_cell, {"in": Step(amplitude=1e-3, rise=5e-10)}, t
+            )
+            # compare against a much finer reference
+            tf = np.linspace(0, 5e-9, 16001)
+            ref = transient_ports(
+                rc_cell, {"in": Step(amplitude=1e-3, rise=5e-10)}, tf
+            )
+            v_ref = np.interp(t, tf, ref.signal(0))
+            errors.append(np.abs(res.signal(0) - v_ref).max())
+        # halving h should cut the error by ~4 (allow slack)
+        assert errors[0] / errors[1] > 2.5
+        assert errors[1] / errors[2] > 2.5
+
+    def test_backward_euler_first_order_convergence(self, rc_cell):
+        errors = []
+        tf = np.linspace(0, 5e-9, 16001)
+        ref = transient_ports(
+            rc_cell, {"in": Step(amplitude=1e-3, rise=5e-10)}, tf,
+            method="backward-euler",
+        )
+        for n in (500, 1000, 2000):
+            t = np.linspace(0, 5e-9, n + 1)
+            res = transient_ports(
+                rc_cell, {"in": Step(amplitude=1e-3, rise=5e-10)}, t,
+                method="backward-euler",
+            )
+            v_ref = np.interp(t, tf, ref.signal(0))
+            errors.append(np.abs(res.signal(0) - v_ref).max())
+        ratio1 = errors[0] / errors[1]
+        ratio2 = errors[1] / errors[2]
+        assert 1.5 < ratio1 < 3.0
+        assert 1.5 < ratio2 < 3.5
+
+
+class TestDrives:
+    def test_dict_and_list_equivalent(self, rc_two_port_system):
+        t = np.linspace(0, 1e-8, 101)
+        w = Step(amplitude=1e-3)
+        a = transient_ports(rc_two_port_system, {"in": w}, t)
+        b = transient_ports(rc_two_port_system, [w, DC(0.0)], t)
+        assert np.allclose(a.outputs, b.outputs)
+
+    def test_unknown_port_rejected(self, rc_two_port_system):
+        with pytest.raises(SimulationError, match="unknown drive"):
+            transient_ports(
+                rc_two_port_system, {"bogus": DC(1.0)}, np.linspace(0, 1e-9, 11)
+            )
+
+    def test_wrong_list_length_rejected(self, rc_two_port_system):
+        with pytest.raises(SimulationError, match="per port"):
+            transient_ports(
+                rc_two_port_system, [DC(1.0)], np.linspace(0, 1e-9, 11)
+            )
+
+
+class TestGridValidation:
+    def test_nonuniform_rejected(self, rc_cell):
+        t = np.array([0.0, 1e-9, 3e-9])
+        with pytest.raises(SimulationError, match="uniform"):
+            transient_ports(rc_cell, {"in": DC(1.0)}, t)
+
+    def test_too_short_rejected(self, rc_cell):
+        with pytest.raises(SimulationError, match="two points"):
+            transient_ports(rc_cell, {"in": DC(1.0)}, np.array([0.0]))
+
+    def test_unknown_method_rejected(self, rc_cell):
+        with pytest.raises(SimulationError, match="unknown method"):
+            transient_ports(
+                rc_cell, {"in": DC(1.0)}, np.linspace(0, 1e-9, 11),
+                method="magic",
+            )
+
+    def test_transformed_formulation_rejected(self, lc_system):
+        with pytest.raises(SimulationError, match="time-domain"):
+            transient_ports(lc_system, [DC(1.0)], np.linspace(0, 1e-9, 11))
+
+
+class TestReducedTransient:
+    def test_matches_full(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=12, shift=0.0)
+        t = np.linspace(0, 5e-8, 2001)
+        drive = {"in": Step(amplitude=1e-3, rise=1e-9)}
+        full = transient_ports(rc_two_port_system, drive, t)
+        red = transient_reduced(model, drive, t)
+        err = np.abs(full.outputs - red.outputs).max()
+        assert err < 1e-3 * np.abs(full.outputs).max()
+
+    def test_stats_contain_sizes(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=6, shift=0.0)
+        t = np.linspace(0, 1e-8, 51)
+        res = transient_reduced(model, {"in": DC(1e-3)}, t)
+        assert res.stats["unknowns"] == 6
+        assert res.stats["cpu_seconds"] >= 0.0
+
+
+class TestNetlistTransient:
+    def test_matches_port_drive(self, rc_two_port_system, rc_two_port):
+        """Driving through an explicit current source must equal the
+        port-drive front-end."""
+        t = np.linspace(0, 2e-8, 401)
+        drive = Step(amplitude=1e-3, rise=1e-9)
+        full = transient_ports(rc_two_port_system, {"in": drive}, t)
+        net = rc_two_port
+        net.isource("Idrv", "n1", "0", 0.0)
+        res = transient_netlist(net, {"Idrv": drive}, t, outputs=["n1"])
+        assert np.allclose(res.signal("v(n1)"), full.signal("v(in)"), atol=1e-9)
+
+    def test_voltage_source_drive(self):
+        """V source + series R must match the Norton equivalent."""
+        t = np.linspace(0, 5e-9, 1001)
+        wave = Step(amplitude=1.0, rise=1e-10)
+
+        thevenin = repro.Netlist()
+        thevenin.vsource("V1", "src", "0", 0.0)
+        thevenin.resistor("Rs", "src", "out", 1e3)
+        thevenin.capacitor("Cl", "out", "0", 1e-12)
+        res_v = transient_netlist(thevenin, {"V1": wave}, t, outputs=["out"])
+
+        norton = repro.Netlist()
+        norton.isource("I1", "out", "0", 0.0)
+        norton.resistor("Rs", "out", "0", 1e3)
+        norton.capacitor("Cl", "out", "0", 1e-12)
+        from repro.simulation.sources import Waveform
+
+        class Scaled(Waveform):
+            def __call__(self, tt):
+                return wave(tt) / 1e3
+
+        res_i = transient_netlist(norton, {"I1": Scaled()}, t, outputs=["out"])
+        assert np.abs(res_v.signal(0) - res_i.signal(0)).max() < 1e-6
+
+    def test_inductor_branch(self):
+        """Series RL driven by a voltage step: i(t) = V/R (1 - e^{-tR/L})."""
+        net = repro.Netlist()
+        net.vsource("V1", "a", "0", 0.0)
+        net.resistor("R1", "a", "b", 10.0)
+        net.inductor("L1", "b", "0", 1e-9)
+        t = np.linspace(0, 1e-9, 4001)
+        res = transient_netlist(
+            net, {"V1": Step(amplitude=1.0, rise=1e-13)}, t, outputs=["b"]
+        )
+        # v(b) = L di/dt decays exponentially with tau = L/R
+        vb = res.signal("v(b)")
+        tau = 1e-9 / 10.0
+        expected = np.exp(-np.maximum(t - 1e-13, 0) / tau)
+        assert np.abs(vb[10:] - expected[10:]).max() < 0.02
+
+    def test_static_source_values_used(self):
+        net = repro.Netlist()
+        net.isource("I1", "a", "0", 2e-3)
+        net.resistor("R1", "a", "0", 1e3)
+        t = np.linspace(0, 1e-9, 11)
+        res = transient_netlist(net, {}, t, outputs=["a"])
+        assert res.signal(0)[-1] == pytest.approx(2.0, rel=1e-6)
+
+    def test_unknown_waveform_key_rejected(self):
+        net = repro.Netlist()
+        net.isource("I1", "a", "0", 0.0)
+        net.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(SimulationError, match="unknown elements"):
+            transient_netlist(net, {"Ix": DC(1.0)}, np.linspace(0, 1e-9, 11))
+
+    def test_unknown_output_rejected(self):
+        net = repro.Netlist()
+        net.isource("I1", "a", "0", 0.0)
+        net.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(SimulationError, match="unknown output"):
+            transient_netlist(
+                net, {}, np.linspace(0, 1e-9, 11), outputs=["zz"]
+            )
+
+
+class TestMutualInductors:
+    def test_transformer_voltage_ratio(self):
+        """Two tightly coupled inductors behave as a transformer:
+        v2/v1 = k * sqrt(L2/L1) with the secondary open."""
+        net = repro.Netlist()
+        net.vsource("V1", "p", "0", 0.0)
+        net.resistor("Rs", "p", "a", 1.0)
+        net.inductor("L1", "a", "0", 1e-9)
+        net.inductor("L2", "b", "0", 4e-9)
+        net.resistor("Rload", "b", "0", 1e9)  # ~open secondary
+        net.mutual("K1", "L1", "L2", 0.99)
+        t = np.linspace(0, 2e-10, 2001)
+        from repro.simulation.sources import Sine
+
+        res = transient_netlist(
+            net, {"V1": Sine(amplitude=1.0, frequency=5e9)}, t,
+            outputs=["a", "b"],
+        )
+        v1 = res.signal("v(a)")
+        v2 = res.signal("v(b)")
+        ratio = np.abs(v2[1000:]).max() / np.abs(v1[1000:]).max()
+        assert ratio == pytest.approx(0.99 * 2.0, rel=0.05)

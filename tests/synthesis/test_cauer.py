@@ -1,0 +1,97 @@
+"""Unit tests for Cauer (continued-fraction) ladder synthesis."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import SynthesisError
+from repro.simulation.ac import ac_sweep
+from repro.synthesis.cauer import CauerElement, cauer_elements, synthesize_cauer
+
+from ..conftest import rel_err
+
+
+@pytest.fixture
+def grounded_one_port():
+    net = repro.rc_ladder(30)
+    net.resistor("Rg", "n31", "0", 500.0)
+    return repro.assemble_mna(net)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("order", [2, 4, 8, 12])
+    def test_grounded_ladder(self, grounded_one_port, order):
+        model = repro.sypvl(grounded_one_port, order=order, shift=0.0)
+        ladder = synthesize_cauer(model)
+        s = 1j * np.logspace(6, 10, 21)
+        z_model = model.impedance(s)[:, 0, 0]
+        z_ladder = ac_sweep(repro.assemble_mna(ladder), s).z[:, 0, 0]
+        assert rel_err(z_ladder, z_model) < 1e-9
+
+    def test_dc_blocked_ladder(self):
+        net = repro.rc_ladder(20)  # no DC path: terminates in a capacitor
+        system = repro.assemble_mna(net)
+        model = repro.sympvl(system, order=6, shift=1e8)
+        ladder = synthesize_cauer(model)
+        s = 1j * np.logspace(7, 10, 15)
+        z_model = model.impedance(s)[:, 0, 0]
+        z_ladder = ac_sweep(repro.assemble_mna(ladder), s).z[:, 0, 0]
+        assert rel_err(z_ladder, z_model) < 1e-3
+
+    def test_agrees_with_foster(self, grounded_one_port):
+        from repro.synthesis import synthesize_foster
+
+        model = repro.sypvl(grounded_one_port, order=6, shift=0.0)
+        s = 1j * np.logspace(7, 10, 11)
+        z_cauer = ac_sweep(
+            repro.assemble_mna(synthesize_cauer(model)), s
+        ).z[:, 0, 0]
+        z_foster = ac_sweep(
+            repro.assemble_mna(synthesize_foster(model)), s
+        ).z[:, 0, 0]
+        assert rel_err(z_cauer, z_foster) < 1e-8
+
+
+class TestStructure:
+    def test_ladder_topology(self, grounded_one_port):
+        model = repro.sypvl(grounded_one_port, order=5, shift=0.0)
+        elements = cauer_elements(model)
+        # alternating R / C, as many of each as the order
+        assert sum(1 for e in elements if e.kind == "R") == 5
+        assert sum(1 for e in elements if e.kind == "C") == 5
+        kinds = [e.kind for e in elements]
+        # a Pade model is strictly proper (Z_n -> 0 at infinity), so the
+        # ladder opens with a shunt capacitor and terminates in the
+        # resistance that carries the DC value
+        assert kinds == ["C", "R"] * 5
+
+    def test_positive_elements_for_guaranteed_model(self, grounded_one_port):
+        """Positive-real RC impedances have positive Cauer elements."""
+        model = repro.sypvl(grounded_one_port, order=6, shift=0.0)
+        assert all(e.value > 0 for e in cauer_elements(model))
+
+    def test_single_rc_cell(self):
+        net = repro.Netlist()
+        net.port("p", "a")
+        net.resistor("R1", "a", "0", 100.0)
+        net.capacitor("C1", "a", "0", 1e-12)
+        system = repro.assemble_mna(net)
+        model = repro.sypvl(system, order=1, shift=0.0)
+        elements = cauer_elements(model)
+        # Z = 100 / (1 + s 1e-10): no series R at infinity, shunt C first
+        assert elements[0].kind == "C"
+        assert elements[0].value == pytest.approx(1e-12, rel=1e-6)
+        assert elements[1].kind == "R"
+        assert elements[1].value == pytest.approx(100.0, rel=1e-6)
+
+
+class TestErrors:
+    def test_order_limit(self, grounded_one_port):
+        model = repro.sypvl(grounded_one_port, order=20, shift=0.0)
+        with pytest.raises(SynthesisError, match="reliable only up to"):
+            cauer_elements(model)
+
+    def test_multiport_rejected(self, rc_two_port_system):
+        model = repro.sympvl(rc_two_port_system, order=6, shift=0.0)
+        with pytest.raises(SynthesisError, match="one-port"):
+            cauer_elements(model)

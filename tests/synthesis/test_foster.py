@@ -1,0 +1,180 @@
+"""Unit tests for the Foster one-port synthesis (paper ref. [8])."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import sympvl, sypvl
+from repro.errors import SynthesisError
+from repro.simulation.ac import ac_sweep
+from repro.synthesis import foster_sections, synthesize_foster
+
+from ..conftest import rel_err
+
+
+@pytest.fixture
+def one_port_model():
+    net = repro.rc_ladder(20)
+    net.resistor("Rg", "n21", "0", 500.0)
+    system = repro.assemble_mna(net)
+    return sypvl(system, order=8, shift=0.0)
+
+
+class TestFosterSections:
+    def test_sections_reconstruct_impedance(self, one_port_model):
+        sections = foster_sections(one_port_model)
+        s = 1j * np.logspace(7, 10, 15)
+        z_sections = sum(
+            sec.resistance / (1.0 + s * sec.tau) for sec in sections
+        )
+        z_model = one_port_model.impedance(s)[:, 0, 0]
+        assert rel_err(z_sections, z_model) < 1e-10
+
+    def test_rc_guaranteed_model_gives_positive_elements(self, one_port_model):
+        """With J = I and T PSD the residues c_k^2 are non-negative and
+        the time constants non-negative: physically realizable."""
+        for section in foster_sections(one_port_model):
+            assert section.resistance > 0
+            assert section.capacitance >= 0
+
+    def test_shifted_model_sections(self):
+        net = repro.rc_ladder(15)
+        system = repro.assemble_mna(net)
+        model = sypvl(system, order=6, shift=1e8)
+        sections = foster_sections(model)
+        s = 1j * np.logspace(6, 10, 15)
+        z_sections = sum(
+            sec.resistance / (1.0 + s * sec.tau) for sec in sections
+        )
+        assert rel_err(z_sections, model.impedance(s)[:, 0, 0]) < 1e-9
+
+    def test_multiport_rejected(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=6, shift=0.0)
+        with pytest.raises(SynthesisError, match="one-port"):
+            foster_sections(model)
+
+    def test_lc_rejected(self, lc_system):
+        model = sympvl(lc_system, order=6)
+        with pytest.raises(SynthesisError, match="sigma = s"):
+            foster_sections(model)
+
+
+class TestSynthesizeFoster:
+    def test_netlist_round_trip(self, one_port_model):
+        net = synthesize_foster(one_port_model)
+        system = repro.assemble_mna(net)
+        s = 1j * np.logspace(7, 10, 21)
+        z_syn = ac_sweep(system, s).z[:, 0, 0]
+        z_model = one_port_model.impedance(s)[:, 0, 0]
+        assert rel_err(z_syn, z_model) < 1e-9
+
+    def test_port_name_preserved(self, one_port_model):
+        net = synthesize_foster(one_port_model)
+        assert net.port_names == one_port_model.port_names
+
+    def test_section_count(self, one_port_model):
+        net = synthesize_foster(one_port_model)
+        sections = foster_sections(one_port_model)
+        assert len(net.resistors) == len(sections)
+
+
+class TestOriginSections:
+    def test_dc_blocked_rc_gets_series_capacitor(self):
+        """DC-blocked circuits have a kernel pole at the origin, realized
+        as a series capacitor."""
+        net = repro.rc_ladder(20)  # no resistive path to ground
+        system = repro.assemble_mna(net)
+        model = repro.sympvl(system, order=8, shift=1e8)
+        sections = foster_sections(model)
+        assert any(s.kind == "origin" for s in sections)
+        foster_net = synthesize_foster(model)
+        s = 1j * np.logspace(6, 10, 15)
+        z_model = model.impedance(s)[:, 0, 0]
+        z_syn = ac_sweep(repro.assemble_mna(foster_net), s).z[:, 0, 0]
+        # moving the (roundoff-located) pole to exactly zero perturbs
+        # the response by ~1e-9 relative, not machine precision
+        assert rel_err(z_syn, z_model) < 1e-6
+
+    def test_origin_section_values(self):
+        net = repro.Netlist()
+        net.port("p", "a")
+        net.capacitor("C1", "a", "0", 2e-12)
+        system = repro.assemble_mna(net)
+        model = repro.sympvl(system, order=1, shift=1e9)
+        sections = foster_sections(model)
+        assert len(sections) == 1
+        assert sections[0].kind == "origin"
+        # Z = 1/(sC): series capacitor of the original value
+        assert sections[0].capacitance == pytest.approx(2e-12, rel=1e-6)
+
+
+class TestFosterLC:
+    def test_round_trip_peec(self, lc_system):
+        from repro.synthesis import synthesize_foster_lc
+
+        model = repro.sympvl(lc_system, order=10)
+        lc_net = synthesize_foster_lc(model)
+        assert lc_net.classify() == "LC"
+        s = 1j * np.linspace(2e9, 2e10, 21)
+        z_model = model.impedance(s)[:, 0, 0]
+        z_syn = ac_sweep(repro.assemble_mna(lc_net), s).z[:, 0, 0]
+        assert rel_err(z_syn, z_model) < 1e-8
+
+    def test_guaranteed_model_gives_physical_elements(self, lc_system):
+        from repro.synthesis import synthesize_foster_lc
+
+        model = repro.sympvl(lc_system, order=10)
+        assert model.guaranteed_stable_passive
+        lc_net = synthesize_foster_lc(model)
+        assert all(e.value > 0 for e in lc_net.inductors)
+        assert all(e.value > 0 for e in lc_net.capacitors)
+
+    def test_enables_time_domain(self, lc_system):
+        """The synthesized LC netlist gives sigma = s^2 models a
+        transient path via the general MNA formulation."""
+        from repro.simulation import Step, transient_ports
+        from repro.synthesis import synthesize_foster_lc
+
+        model = repro.sympvl(lc_system, order=8)
+        lc_net = synthesize_foster_lc(model)
+        syn = repro.assemble_mna(lc_net, "mna")
+        t = np.linspace(0, 2e-9, 801)
+        result = transient_ports(
+            syn, {lc_net.port_names[0]: Step(amplitude=1e-3, rise=2e-11)}, t
+        )
+        assert np.all(np.isfinite(result.outputs))
+        assert np.abs(result.outputs).max() > 0
+
+    def test_rc_model_rejected(self, rc_two_port_system):
+        from repro.synthesis import synthesize_foster_lc
+
+        model = repro.sympvl(rc_two_port_system, order=6, shift=0.0)
+        with pytest.raises(SynthesisError, match="one-port"):
+            synthesize_foster_lc(model)
+
+    def test_rc_transfer_map_rejected(self):
+        from repro.synthesis import synthesize_foster_lc
+
+        net = repro.rc_ladder(10)
+        net.resistor("Rg", "n11", "0", 100.0)
+        model = repro.sympvl(repro.assemble_mna(net), order=4, shift=0.0)
+        with pytest.raises(SynthesisError, match="LC transfer map"):
+            synthesize_foster_lc(model)
+
+
+class TestOriginMerging:
+    def test_multiple_origin_modes_merge_into_one_section(self):
+        """Several Lanczos modes can land on the pole at the origin;
+        they are one physical pole and must synthesize as ONE series
+        capacitor (regression: separate snapped sections spanning 12
+        orders of magnitude wrecked the netlist conditioning)."""
+        net = repro.random_passive("RC", 15, seed=2954, n_ports=1)
+        system = repro.assemble_mna(net)
+        model = repro.sympvl(system, order=7)
+        sections = foster_sections(model)
+        assert sum(1 for s in sections if s.kind == "origin") <= 1
+        foster_net = synthesize_foster(model)
+        s = 1j * np.logspace(7, 10, 6)
+        z_model = model.impedance(s)[:, 0, 0]
+        z_syn = ac_sweep(repro.assemble_mna(foster_net), s).z[:, 0, 0]
+        assert rel_err(z_syn, z_model) < 1e-6

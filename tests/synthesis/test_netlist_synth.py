@@ -1,0 +1,112 @@
+"""Unit tests for multiport RC synthesis (paper section 6).
+
+The defining property: with zero pruning, the synthesized circuit's
+exact impedance equals the reduced model's ``Z_n(s)`` to machine
+precision.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import sympvl
+from repro.errors import SynthesisError
+from repro.simulation.ac import ac_sweep
+from repro.synthesis import synthesize_rc
+
+from ..conftest import rel_err
+
+
+@pytest.fixture
+def model(rc_two_port_system):
+    return sympvl(rc_two_port_system, order=12, shift=0.0)
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, model):
+        report = synthesize_rc(model)
+        system = repro.assemble_mna(report.netlist)
+        s = 1j * np.logspace(6, 10, 21)
+        assert rel_err(ac_sweep(system, s).z, model.impedance(s)) < 1e-10
+
+    def test_round_trip_with_shifted_expansion(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=10, shift=4e8)
+        report = synthesize_rc(model)
+        system = repro.assemble_mna(report.netlist)
+        s = 1j * np.logspace(6, 10, 15)
+        assert rel_err(ac_sweep(system, s).z, model.impedance(s)) < 1e-9
+
+    def test_seventeen_port_shape(self):
+        """A mini version of the paper's 17-port crosstalk circuit."""
+        net = repro.coupled_rc_bus(5, 8)
+        system = repro.assemble_mna(net)
+        model = sympvl(system, order=10, shift=1e9)
+        report = synthesize_rc(model)
+        assert len(report.netlist.ports) == 5
+        syn = repro.assemble_mna(report.netlist)
+        s = 1j * np.logspace(7, 10, 11)
+        assert rel_err(ac_sweep(syn, s).z, model.impedance(s)) < 1e-8
+
+
+class TestStructure:
+    def test_port_names_preserved_in_order(self, model):
+        report = synthesize_rc(model)
+        assert report.netlist.port_names == model.port_names
+
+    def test_node_count_equals_order(self, model):
+        report = synthesize_rc(model)
+        assert report.num_nodes == model.order
+
+    def test_counts_match_netlist(self, model):
+        report = synthesize_rc(model)
+        stats = report.netlist.stats()
+        assert stats["resistors"] == report.num_resistors
+        assert stats["capacitors"] == report.num_capacitors
+
+    def test_may_contain_negative_elements(self, model):
+        report = synthesize_rc(model)
+        values = [r.value for r in report.netlist.resistors]
+        values += [c.value for c in report.netlist.capacitors]
+        # section 6: negative values are expected and tolerated
+        assert any(v < 0 for v in values) or all(v > 0 for v in values)
+
+    def test_summary_text(self, model):
+        report = synthesize_rc(model)
+        text = report.summary()
+        assert "nodes" in text and "resistors" in text
+
+
+class TestPruning:
+    def test_pruning_reduces_elements(self, rc_two_port_system):
+        model = sympvl(rc_two_port_system, order=14, shift=0.0)
+        dense_report = synthesize_rc(model)
+        sparse_report = synthesize_rc(model, prune_tol=1e-6)
+        total_dense = dense_report.num_resistors + dense_report.num_capacitors
+        total_sparse = (
+            sparse_report.num_resistors + sparse_report.num_capacitors
+        )
+        assert total_sparse <= total_dense
+        assert (
+            sparse_report.pruned_resistors + sparse_report.pruned_capacitors
+            >= total_dense - total_sparse
+        )
+
+    def test_light_pruning_preserves_accuracy(self, model):
+        report = synthesize_rc(model, prune_tol=1e-9)
+        system = repro.assemble_mna(report.netlist)
+        s = 1j * np.logspace(6, 10, 11)
+        assert rel_err(ac_sweep(system, s).z, model.impedance(s)) < 1e-5
+
+
+class TestErrors:
+    def test_lc_model_rejected(self, lc_system):
+        model = sympvl(lc_system, order=8)
+        with pytest.raises(SynthesisError, match="LC-form"):
+            synthesize_rc(model)
+
+    def test_rank_deficient_rho_rejected(self, model):
+        model.rho = np.zeros_like(model.rho)
+        model.rho[:, 0] = 1.0  # duplicate columns -> rank 1 of 2
+        model.rho[:, 1] = 1.0
+        with pytest.raises(SynthesisError, match="rank"):
+            synthesize_rc(model)

@@ -1,0 +1,134 @@
+"""Unit/integration tests for macromodel stamping.
+
+Correctness oracle: a host circuit with the *reduced model stamped in*
+must behave like the host merged with the *full block netlist*, both in
+the frequency and in the time domain (up to model truncation error).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import SimulationError, SynthesisError
+from repro.simulation import Step, transient_netlist
+
+from ..conftest import rel_err
+
+
+@pytest.fixture
+def setup():
+    block = repro.rc_ladder(40, resistance=300.0, capacitance=0.2e-12,
+                            port_at_far_end=True)
+    host = repro.Netlist("host")
+    host.vsource("Vdrv", "src", "0", 0.0)
+    host.resistor("Rs", "src", "blk_in", 50.0)
+    host.capacitor("Cload", "blk_out", "0", 0.5e-12)
+    system = repro.assemble_mna(block)
+    model = repro.sympvl(system, order=14, shift=5e8)
+    connections = {"in": "blk_in", "out": "blk_out"}
+    reference = repro.merge_netlists(host, block, connections)
+    return host, block, model, connections, reference
+
+
+class TestTransient:
+    def test_matches_full_merge(self, setup):
+        host, block, model, connections, reference = setup
+        t = np.linspace(0, 5e-8, 3001)
+        wave = Step(amplitude=1.0, rise=2e-10)
+        full = transient_netlist(reference, {"Vdrv": wave}, t,
+                                 outputs=["blk_in", "blk_out"])
+        stamped = repro.stamp_reduced_model(host, model, connections)
+        res = stamped.transient({"Vdrv": wave}, t,
+                                outputs=["blk_in", "blk_out"])
+        assert rel_err(res.outputs, full.outputs) < 5e-3
+
+    def test_smaller_than_full(self, setup):
+        host, block, model, connections, reference = setup
+        stamped = repro.stamp_reduced_model(host, model, connections)
+        n_full = reference.num_nodes + len(reference.voltage_sources)
+        assert stamped.size < n_full
+
+    def test_current_source_host(self):
+        """Hosts driven by current sources work too."""
+        block = repro.rc_ladder(20)
+        block.resistor("Rg", "n21", "0", 1e3)
+        host = repro.Netlist()
+        host.isource("Iin", "x", "0", 0.0)
+        host.resistor("Rp", "x", "0", 200.0)
+        system = repro.assemble_mna(block)
+        model = repro.sympvl(system, order=8, shift=0.0)
+        stamped = repro.stamp_reduced_model(host, model, {"in": "x"})
+        t = np.linspace(0, 2e-8, 801)
+        res = stamped.transient(
+            {"Iin": Step(amplitude=1e-3, rise=1e-10)}, t, outputs=["x"]
+        )
+        reference = repro.merge_netlists(host, block, {"in": "x"})
+        full = transient_netlist(
+            reference, {"Iin": Step(amplitude=1e-3, rise=1e-10)}, t,
+            outputs=["x"],
+        )
+        assert rel_err(res.outputs, full.outputs) < 1e-2
+
+
+class TestAC:
+    def test_matches_full_merge(self, setup):
+        host, block, model, connections, reference = setup
+        s = 1j * np.logspace(8, 9.5, 12)
+        stamped = repro.stamp_reduced_model(host, model, connections)
+        resp = stamped.ac(s, ["blk_out"], source_amplitudes={"Vdrv": 1.0})
+
+        # reference via transient-netlist assembly is awkward; build the
+        # AC reference directly with the merged netlist + MNA extension
+        from repro.circuits.topology import build_incidence
+        import scipy.sparse as sp
+        import scipy.sparse.linalg as spla
+
+        inc = build_incidence(reference)
+        n = inc.num_nodes
+        g = inc.a_g.T @ sp.diags(inc.conductances) @ inc.a_g
+        c = inc.a_c.T @ sp.diags(inc.capacitances) @ inc.a_c
+        vsrc = reference.voltage_sources[0]
+        row = np.zeros(n)
+        row[inc.node_index[vsrc.node_pos]] = 1.0
+        g_full = sp.bmat([[g, row[:, None]], [row[None, :], None]]).tocsc()
+        c_full = sp.bmat(
+            [[c, sp.csr_matrix((n, 1))],
+             [sp.csr_matrix((1, n)), sp.csr_matrix((1, 1))]]
+        ).tocsc()
+        out_idx = inc.node_index["blk_out"]
+        expected = []
+        for sk in s:
+            rhs = np.zeros(n + 1, dtype=complex)
+            rhs[-1] = 1.0
+            x = spla.splu((g_full + sk * c_full).tocsc()).solve(rhs)
+            expected.append(x[out_idx])
+        expected = np.array(expected)
+        assert rel_err(resp.z[:, 0, 0], expected) < 5e-3
+
+
+class TestErrors:
+    def test_lc_model_rejected(self, lc_system):
+        model = repro.sympvl(lc_system, order=6)
+        host = repro.Netlist()
+        host.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(SynthesisError, match="sigma = s"):
+            repro.stamp_reduced_model(host, model, {"drive": "a"})
+
+    def test_missing_connection(self, setup):
+        host, block, model, connections, _ = setup
+        with pytest.raises(SynthesisError, match="not connected"):
+            repro.stamp_reduced_model(host, model, {"in": "blk_in"})
+
+    def test_unknown_host_node(self, setup):
+        host, block, model, _, _ = setup
+        with pytest.raises(SynthesisError, match="not a host node"):
+            repro.stamp_reduced_model(
+                host, model, {"in": "blk_in", "out": "nowhere"}
+            )
+
+    def test_unknown_output_node(self, setup):
+        host, block, model, connections, _ = setup
+        stamped = repro.stamp_reduced_model(host, model, connections)
+        t = np.linspace(0, 1e-9, 11)
+        with pytest.raises(SimulationError, match="unknown host node"):
+            stamped.transient({}, t, outputs=["zz"])

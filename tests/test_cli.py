@@ -1,0 +1,120 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits import write_netlist
+from repro.cli import main
+
+
+@pytest.fixture
+def netlist_file(tmp_path):
+    net = repro.rc_ladder(20, port_at_far_end=True)
+    path = tmp_path / "circuit.sp"
+    path.write_text(write_netlist(net))
+    return path
+
+
+class TestInfo:
+    def test_prints_stats(self, netlist_file, capsys):
+        assert main(["info", str(netlist_file)]) == 0
+        out = capsys.readouterr().out
+        assert "resistors" in out
+        assert "RC" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope.sp")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestReduce:
+    def test_basic(self, netlist_file, capsys):
+        code = main([
+            "reduce", str(netlist_file), "--order", "8", "--shift", "1e8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reduced 21 unknowns -> 8 states" in out
+        assert "certified" in out
+
+    def test_band_report(self, netlist_file, capsys):
+        main([
+            "reduce", str(netlist_file), "--order", "10", "--shift", "1e8",
+            "--band", "1e7", "1e10",
+        ])
+        assert "band accuracy" in capsys.readouterr().out
+
+    def test_bad_band(self, netlist_file, capsys):
+        assert main([
+            "reduce", str(netlist_file), "--order", "8", "--shift", "1e8",
+            "--band", "1e10", "1e7",
+        ]) == 1
+
+    def test_outputs(self, netlist_file, tmp_path, capsys):
+        out_netlist = tmp_path / "reduced.sp"
+        out_model = tmp_path / "model.npz"
+        code = main([
+            "reduce", str(netlist_file), "--order", "10", "--shift", "1e8",
+            "--out", str(out_netlist), "--model", str(out_model),
+        ])
+        assert code == 0
+        # both artifacts exist and are consistent
+        model = repro.load_model(out_model)
+        syn = repro.parse_netlist(out_netlist.read_text())
+        s = 1j * np.logspace(7, 10, 5)
+        z_model = model.impedance(s)
+        z_syn = repro.ac_sweep(repro.assemble_mna(syn), s).z
+        assert np.abs(z_model - z_syn).max() < 1e-9 * np.abs(z_model).max()
+
+    def test_invalid_netlist_fails_validation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sp"
+        bad.write_text("R1 a 0 -5\n.PORT p a\n")  # negative resistor
+        assert main(["reduce", str(bad), "--order", "2"]) == 1
+        assert "passivity" in capsys.readouterr().err
+
+    def test_no_validate_skips(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sp"
+        bad.write_text("R1 a 0 -5\nC1 a 0 1p\n.PORT p a\n")
+        code = main([
+            "reduce", str(bad), "--order", "2", "--no-validate",
+            "--shift", "1e8",
+        ])
+        assert code == 0
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind,size", [
+        ("rc-ladder", 20), ("rc-mesh", 4), ("rc-bus", 3),
+        ("rlc-line", 10),
+    ])
+    def test_generates_parseable_netlists(self, kind, size, tmp_path, capsys):
+        out = tmp_path / "gen.sp"
+        assert main(["generate", kind, "--size", str(size),
+                     "--out", str(out)]) == 0
+        net = repro.parse_netlist(out.read_text())
+        assert net.num_nodes > 0
+        assert len(net.ports) >= 1
+
+    def test_generated_circuit_reduces(self, tmp_path):
+        out = tmp_path / "bus.sp"
+        main(["generate", "rc-bus", "--size", "3", "--out", str(out)])
+        code = main([
+            "reduce", str(out), "--order", "6", "--shift", "0",
+        ])
+        assert code == 0
+
+
+class TestPackageEntryPoints:
+    def test_module_main_exists(self):
+        import importlib
+
+        spec = importlib.util.find_spec("repro.__main__")
+        assert spec is not None
+
+    def test_build_parser_help(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        text = parser.format_help()
+        assert "reduce" in text and "generate" in text and "info" in text

@@ -1,0 +1,62 @@
+"""Unit tests for model serialization."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ReproError
+from repro.io import load_model, save_model
+
+
+class TestSaveLoad:
+    def test_round_trip_rc(self, rc_two_port_system, tmp_path):
+        model = repro.sympvl(rc_two_port_system, order=10, shift=0.0)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        s = 1j * np.logspace(7, 10, 9)
+        assert np.allclose(loaded.impedance(s), model.impedance(s))
+        assert loaded.port_names == model.port_names
+        assert loaded.guaranteed_stable_passive
+        assert loaded.sigma0 == model.sigma0
+        assert loaded.source_size == model.source_size
+
+    def test_round_trip_lc_transfer_map(self, lc_system, tmp_path):
+        model = repro.sympvl(lc_system, order=8)
+        path = tmp_path / "lc.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.transfer.sigma_power == 2
+        s = 1j * np.linspace(2e9, 1e10, 5)
+        assert np.allclose(loaded.impedance(s), model.impedance(s))
+
+    def test_round_trip_with_output_and_direct(self, rlc_system, tmp_path):
+        from repro.core import enforce_passivity, stabilize
+
+        model = repro.sympvl(rlc_system, order=12, shift=1e10)
+        fixed = stabilize(model)
+        fixed.direct = np.eye(fixed.num_ports) * 0.5
+        path = tmp_path / "rlc.npz"
+        save_model(fixed, path)
+        loaded = load_model(path)
+        s = 1j * np.logspace(9, 11, 7)
+        assert np.allclose(loaded.impedance(s), fixed.impedance(s))
+        assert loaded.output is not None
+        assert loaded.direct is not None
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, t=np.eye(2))
+        with pytest.raises(ReproError, match="missing field"):
+            load_model(path)
+
+    def test_future_version_rejected(self, rc_two_port_system, tmp_path):
+        model = repro.sympvl(rc_two_port_system, order=4, shift=0.0)
+        path = tmp_path / "v99.npz"
+        save_model(model, path)
+        # tamper with the version
+        data = dict(np.load(path, allow_pickle=True))
+        data["format_version"] = np.array(99)
+        np.savez(path, **data)
+        with pytest.raises(ReproError, match="newer"):
+            load_model(path)
