@@ -77,6 +77,14 @@ from repro.simulation import (
     transient_reduced,
 )
 from repro.io import load_model, save_model
+from repro.robustness import (
+    FaultPlan,
+    HealthMonitor,
+    RecoveryReport,
+    ReductionHealth,
+    RobustReduction,
+    robust_reduce,
+)
 from repro.synthesis import (
     StampedSystem,
     SynthesisReport,
@@ -156,6 +164,13 @@ __all__ = [
     "merge_netlists",
     "save_model",
     "load_model",
+    # robustness
+    "robust_reduce",
+    "RobustReduction",
+    "RecoveryReport",
+    "HealthMonitor",
+    "ReductionHealth",
+    "FaultPlan",
     # analysis
     "max_relative_error",
     "rms_db_error",

@@ -5,17 +5,37 @@
     python -m repro reduce input.sp --order 20 --out reduced.sp \
         --model model.npz --band 1e7 1e10
 
+    python -m repro reduce input.sp --order 20 --robust \
+        --max-retries 5 --fallback arnoldi --diagnostics diag.json
+
     python -m repro info input.sp
 
 ``reduce`` parses the SPICE-subset netlist, assembles the symmetric
 MNA system, runs SyMPVL, reports band accuracy against the exact
 response, and optionally writes a synthesized RC netlist (``--out``)
-and/or a serialized model (``--model``).
+and/or a serialized model (``--model``).  With ``--robust`` the
+reduction runs under the recovery engine
+(:func:`repro.robustness.robust_reduce`): Lanczos breakdowns, singular
+factorizations, and failed passivity certificates are repaired
+automatically and every attempt is logged; ``--diagnostics`` dumps the
+full health / recovery report as JSON (on failure too).
+
+Exit codes (documented in ``docs/ROBUSTNESS.md``)::
+
+    0  success
+    1  other repro error
+    2  netlist parse / circuit error (argparse usage errors also exit 2)
+    3  reduction error (breakdown, recovery exhausted)
+    4  synthesis error
+    5  factorization error
+    6  simulation error
+    7  I/O error (missing file, unwritable output)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -24,7 +44,12 @@ from repro.analysis import Table
 from repro.circuits import assemble_mna, parse_netlist, write_netlist
 from repro.circuits.validate import validate_netlist
 from repro.core import certify, sympvl
-from repro.errors import ReproError
+from repro.core.model import ReducedOrderModel
+from repro.errors import (
+    EXIT_LABELS,
+    ReproError,
+    exit_code_for,
+)
 from repro.io import save_model
 from repro.simulation import ac_sweep, model_sweep
 from repro.synthesis import synthesize_rc
@@ -59,6 +84,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="relative pruning threshold for synthesis")
     reduce_cmd.add_argument("--no-validate", action="store_true",
                             help="skip the passivity/topology validation")
+    reduce_cmd.add_argument(
+        "--robust", action="store_true",
+        help="run under the recovery engine (retry breakdowns, "
+        "regularize singular shifts, back off the order, fall back "
+        "to another reduction engine)")
+    reduce_cmd.add_argument(
+        "--max-retries", type=int, default=5, metavar="N",
+        help="recovery attempts after the initial one (default 5)")
+    reduce_cmd.add_argument(
+        "--fallback", choices=["sypvl", "arnoldi", "none"],
+        default="arnoldi",
+        help="last-resort engine for --robust (default arnoldi)")
+    reduce_cmd.add_argument(
+        "--diagnostics", metavar="PATH",
+        help="write the health/recovery report as JSON (also on failure)")
+    # deterministic fault injection; for the robustness test harness
+    reduce_cmd.add_argument("--inject-fault", help=argparse.SUPPRESS)
 
     generate = sub.add_parser(
         "generate", help="emit a synthetic benchmark circuit as a netlist"
@@ -86,22 +128,123 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_diagnostics(path: str, payload: dict) -> None:
+    from repro.robustness.health import _jsonify
+
+    with open(path, "w") as handle:
+        json.dump(_jsonify(payload), handle, indent=2, allow_nan=False)
+        handle.write("\n")
+
+
+def _reduce_model(args: argparse.Namespace, system, shift, fault_plan):
+    """Run the reduction; returns (model, certification, diagnostics|None)."""
+    from repro.robustness import HealthMonitor
+    from repro.robustness.recovery import robust_reduce
+
+    if args.robust:
+        result = robust_reduce(
+            system,
+            args.order,
+            shift=shift,
+            max_retries=args.max_retries,
+            fallback=args.fallback,
+            fault_plan=fault_plan,
+        )
+        report = result.report
+        if report.recovered:
+            repairs = [
+                a.policy for a in report.attempts
+                if a.succeeded and a.policy != "initial"
+            ]
+            print(f"recovered after {len(report.attempts)} attempts "
+                  f"(repairs: {', '.join(repairs)})")
+        return result.model, result.certification, result.diagnostics()
+
+    # plain path: still monitored so --diagnostics works without --robust
+    monitor = HealthMonitor()
+    if fault_plan is not None:
+        fault_plan.monitor = monitor
+
+        def wrapper(op):
+            return fault_plan.wrap_operator(op)
+
+        from repro.linalg.factorization import factor_symmetric
+
+        factor_fn = fault_plan.wrap_factor(factor_symmetric)
+    else:
+        wrapper = None
+        factor_fn = None
+    model = sympvl(
+        system, order=args.order, shift=shift, monitor=monitor,
+        factor_fn=factor_fn, operator_wrapper=wrapper,
+    )
+    cert = certify(model, monitor=monitor)
+    diagnostics = None
+    if args.diagnostics:
+        diagnostics = {
+            "engine": "sympvl",
+            "order": model.order,
+            "requested_order": args.order,
+            "certified": bool(cert.certified),
+            "recovery": None,
+            "fault_injection": (
+                fault_plan.summary() if fault_plan is not None else None
+            ),
+            "health": monitor.report().to_dict(),
+        }
+    return model, cert, diagnostics
+
+
 def _cmd_reduce(args: argparse.Namespace) -> int:
+    from repro.robustness import FaultPlan
+
     with open(args.netlist) as handle:
         net = parse_netlist(handle.read())
     if not args.no_validate:
         validate_netlist(net)
     system = assemble_mna(net)
     shift = "auto" if args.shift == "auto" else float(args.shift)
-    model = sympvl(system, order=args.order, shift=shift)
-    print(
-        f"reduced {system.size} unknowns -> {model.order} states "
-        f"(ports: {model.num_ports}, sigma0 = {model.sigma0:.4g}, "
-        f"factorization: {model.factorization_method})"
+    fault_plan = (
+        FaultPlan.parse(args.inject_fault) if args.inject_fault else None
     )
-    cert = certify(model)
-    print(f"stable: {model.is_stable()}, certified stable+passive: "
-          f"{cert.certified}")
+
+    try:
+        model, cert, diagnostics = _reduce_model(
+            args, system, shift, fault_plan
+        )
+    except ReproError as exc:
+        if args.diagnostics:
+            report = getattr(exc, "report", None)
+            _write_diagnostics(args.diagnostics, {
+                "engine": None,
+                "order": None,
+                "requested_order": args.order,
+                "certified": None,
+                "error": f"{type(exc).__name__}: {exc}",
+                "recovery": report.to_dict() if report is not None else None,
+                "fault_injection": (
+                    fault_plan.summary() if fault_plan is not None else None
+                ),
+            })
+            print(f"diagnostics written to {args.diagnostics}",
+                  file=sys.stderr)
+        raise
+
+    is_pade = isinstance(model, ReducedOrderModel)
+    if is_pade:
+        print(
+            f"reduced {system.size} unknowns -> {model.order} states "
+            f"(ports: {model.num_ports}, sigma0 = {model.sigma0:.4g}, "
+            f"factorization: {model.factorization_method})"
+        )
+        print(f"stable: {model.is_stable()}, certified stable+passive: "
+              f"{cert.certified}")
+    else:
+        print(
+            f"reduced {system.size} unknowns -> {model.order} states "
+            f"(ports: {model.num_ports}, engine: arnoldi congruence)"
+        )
+        print(f"stable: {model.is_stable()}, passive by construction")
 
     if args.band:
         w_lo, w_hi = args.band
@@ -117,14 +260,25 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
               f"max rel {err['max_rel']:.3e}, RMS {err['rms_db']:.3e} dB")
 
     if args.model:
-        save_model(model, args.model)
-        print(f"model written to {args.model}")
+        if is_pade:
+            save_model(model, args.model)
+            print(f"model written to {args.model}")
+        else:
+            print("note: --model skipped (congruence fallback model has no "
+                  ".npz serialization)", file=sys.stderr)
     if args.out:
-        report = synthesize_rc(model, prune_tol=args.prune_tol)
-        with open(args.out, "w") as handle:
-            handle.write(write_netlist(report.netlist))
-        print(report.summary())
-        print(f"synthesized netlist written to {args.out}")
+        if is_pade:
+            report = synthesize_rc(model, prune_tol=args.prune_tol)
+            with open(args.out, "w") as handle:
+                handle.write(write_netlist(report.netlist))
+            print(report.summary())
+            print(f"synthesized netlist written to {args.out}")
+        else:
+            print("note: --out skipped (synthesis needs a matrix-Pade "
+                  "model, got the congruence fallback)", file=sys.stderr)
+    if args.diagnostics and diagnostics is not None:
+        _write_diagnostics(args.diagnostics, diagnostics)
+        print(f"diagnostics written to {args.diagnostics}")
     return 0
 
 
@@ -158,7 +312,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a documented exit code (module docstring)."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -169,10 +323,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "generate":
             return _cmd_generate(args)
     except (ReproError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        code = exit_code_for(exc)
+        label = EXIT_LABELS.get(code, "error")
+        message = str(exc).split("\n", 1)[0]
+        print(f"error [{label}]: {message}", file=sys.stderr)
+        return code
     return 2  # pragma: no cover - unreachable with required=True
-
-
-if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())

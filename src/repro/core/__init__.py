@@ -17,6 +17,7 @@ from repro.core.pact import pact
 from repro.core.passivity import (
     Certification,
     certify,
+    clamp_spectrum,
     enforce_passivity,
     positive_real_margin,
     stabilize,
@@ -50,6 +51,7 @@ __all__ = [
     "pact",
     "Certification",
     "certify",
+    "clamp_spectrum",
     "positive_real_margin",
     "stabilize",
     "enforce_passivity",

@@ -34,13 +34,14 @@ emphasizes at the cost of gradual orthogonality loss.
 
 from __future__ import annotations
 
+import math
 import warnings
 from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import BreakdownError
+from repro.errors import BreakdownError, NumericalWarning
 from repro.linalg.operators import LanczosOperator
 
 __all__ = [
@@ -211,12 +212,32 @@ class LanczosEngine:
         self,
         operator: LanczosOperator,
         options: LanczosOptions | None = None,
+        monitor=None,
     ):
         self._op = operator
         self._opts = options or LanczosOptions()
+        self._monitor = monitor
         start = operator.start_block()
-        if np.linalg.norm(start) == 0.0:
-            raise BreakdownError("starting block J^{-1} M^{-1} B is zero")
+        start_norm = float(np.linalg.norm(start))
+        if start_norm == 0.0 or not math.isfinite(start_norm):
+            if monitor is not None:
+                monitor.record(
+                    "lanczos.breakdown", step=0, reason="zero-start",
+                    residual_norm=start_norm,
+                )
+            raise BreakdownError(
+                "starting block J^{-1} M^{-1} B is zero or non-finite",
+                step=0,
+                residual_norm=start_norm,
+                source=("b", -1),
+            )
+        if monitor is not None:
+            monitor.record(
+                "lanczos.start",
+                start_norm=start_norm,
+                num_inputs=operator.num_inputs,
+                system_size=operator.size,
+            )
         self._p = operator.num_inputs
         self._n_full = operator.size
         self._vectors: list[np.ndarray] = []
@@ -297,17 +318,38 @@ class LanczosEngine:
                 return cid
         return len(self._clusters) - 1  # pragma: no cover - defensive
 
-    def _close_cluster(self) -> None:
+    def _close_cluster(self, *, forced: bool = False) -> None:
         """Steps 2c-2d: freeze the open cluster, fix pending candidates."""
         cluster = self._clusters[-1]
         w = np.column_stack([self._vectors[i] for i in cluster.indices])
         jw = self._op.j_product(w)
         delta = w.T @ jw
         delta = 0.5 * (delta + delta.T)
+        pseudo_inverse = False
         try:
             delta_inv = np.linalg.inv(delta)
         except np.linalg.LinAlgError:
+            pseudo_inverse = True
+            warnings.warn(
+                f"singular J-Gram matrix of a size-{len(cluster.indices)} "
+                "look-ahead cluster; closing with a pseudo-inverse",
+                NumericalWarning,
+                stacklevel=3,
+            )
             delta_inv = np.linalg.pinv(delta)
+        if self._monitor is not None:
+            eigs = np.abs(np.linalg.eigvalsh(delta))
+            largest = float(eigs.max(initial=0.0))
+            smallest = float(eigs.min(initial=0.0))
+            condition = math.inf if smallest == 0.0 else largest / smallest
+            self._monitor.record(
+                "lanczos.cluster",
+                step=len(self._vectors),
+                size=len(cluster.indices),
+                condition=condition,
+                forced=forced,
+                pseudo_inverse=pseudo_inverse,
+            )
         cluster.w, cluster.jw = w, jw
         cluster.delta, cluster.delta_inv = delta, delta_inv
         cid = len(self._clusters) - 1
@@ -370,12 +412,35 @@ class LanczosEngine:
                     self._record(i, cand.source, tau)
 
             norm = float(np.linalg.norm(cand.vec))
+            if not math.isfinite(norm):
+                if self._monitor is not None:
+                    self._monitor.record(
+                        "lanczos.nonfinite",
+                        step=len(self._vectors),
+                        source=cand.source,
+                    )
+                raise BreakdownError(
+                    f"non-finite candidate (NaN/Inf) at Lanczos step "
+                    f"{len(self._vectors)} from source {cand.source}",
+                    step=len(self._vectors),
+                    residual_norm=norm,
+                    source=cand.source,
+                )
             reference = max(cand.gen_norm, 1e-300)
             if norm <= opts.deflation_tol * reference:
                 exact = norm <= opts.exact_deflation_tol * reference
                 self._deflations.append(
                     DeflationEvent(len(self._vectors), cand.source, norm, exact)
                 )
+                if self._monitor is not None:
+                    self._monitor.record(
+                        "lanczos.deflation",
+                        step=len(self._vectors),
+                        source=cand.source,
+                        residual_norm=norm,
+                        relative_norm=norm / reference,
+                        exact=exact,
+                    )
                 if not exact and cand.source[0] == "av":
                     self._inexact_clusters.add(self._cluster_of(cand.source[1]))
                 continue
@@ -393,9 +458,10 @@ class LanczosEngine:
                 warnings.warn(
                     f"look-ahead cluster reached max size {opts.max_cluster};"
                     " closing with a pseudo-inverse",
+                    NumericalWarning,
                     stacklevel=2,
                 )
-                self._close_cluster()
+                self._close_cluster(forced=True)
 
             # step 3: generate the successor candidate K v_n (always, so
             # the engine can resume seamlessly; the raw product is cached
@@ -420,7 +486,9 @@ class LanczosEngine:
         if n == 0:
             raise BreakdownError(
                 "all starting-block columns were deflated; "
-                "the input matrix B is (numerically) zero"
+                "the input matrix B is (numerically) zero",
+                step=0,
+                source=("b", -1),
             )
 
         # Incurable breakdown at termination: if the still-open cluster's
@@ -440,10 +508,21 @@ class LanczosEngine:
             if smallest <= self._opts.cluster_tol * scale:
                 truncated = len(open_cluster.indices)
                 n -= truncated
+                if self._monitor is not None:
+                    self._monitor.record(
+                        "lanczos.breakdown",
+                        step=n,
+                        reason="incurable",
+                        cluster_size=truncated,
+                        residual_norm=smallest,
+                    )
                 if n == 0:
                     raise BreakdownError(
                         "incurable look-ahead breakdown consumed every "
-                        "Lanczos vector"
+                        "Lanczos vector",
+                        step=0,
+                        cluster_size=truncated,
+                        residual_norm=smallest,
                     )
         v = np.column_stack(self._vectors[:n])
 
@@ -486,6 +565,21 @@ class LanczosEngine:
         p1 = self._p - sum(
             1 for d in self._deflations if d.source[0] == "b"
         )
+        if self._monitor is not None:
+            # orthogonality loss: worst violation of the cluster-wise
+            # J-orthogonality V^T J V = Delta (eq. 16) -- the standard
+            # health indicator of a Lanczos run
+            vjv = v.T @ self._op.j_product(v)
+            loss = float(np.abs(vjv - delta_full).max(initial=0.0))
+            scale = max(1.0, float(np.abs(delta_full).max(initial=0.0)))
+            self._monitor.record(
+                "lanczos.orthogonality",
+                loss=loss / scale,
+                order=n,
+                truncated=truncated,
+                exhausted=self.exhausted,
+                deflations=len(self._deflations),
+            )
         return LanczosResult(
             v=v,
             t=t_explicit,
@@ -504,6 +598,7 @@ def symmetric_block_lanczos(
     operator: LanczosOperator,
     order: int,
     options: LanczosOptions | None = None,
+    monitor=None,
 ) -> LanczosResult:
     """Run the symmetric block-Lanczos process (paper Algorithm 1).
 
@@ -520,13 +615,19 @@ def symmetric_block_lanczos(
     options:
         :class:`LanczosOptions`; defaults are suitable for double
         precision.
+    monitor:
+        Optional :class:`repro.robustness.health.HealthMonitor`;
+        deflations, cluster closures, breakdowns, and the final
+        orthogonality loss are recorded into it.
 
     Raises
     ------
     BreakdownError
-        Only if the starting block itself is identically zero (or every
-        column of it deflates).
+        If the starting block itself is identically zero (or every
+        column of it deflates), or a candidate turns non-finite.  The
+        error carries structured ``step`` / ``source`` /
+        ``residual_norm`` fields for recovery dispatch.
     """
-    engine = LanczosEngine(operator, options)
+    engine = LanczosEngine(operator, options, monitor=monitor)
     engine.extend(order)
     return engine.result()

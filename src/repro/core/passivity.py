@@ -24,6 +24,7 @@ from repro.core.model import ReducedOrderModel
 __all__ = [
     "Certification",
     "certify",
+    "clamp_spectrum",
     "positive_real_margin",
     "stabilize",
     "enforce_passivity",
@@ -55,7 +56,9 @@ class Certification:
         )
 
 
-def certify(model: ReducedOrderModel, tol: float = 1e-8) -> Certification:
+def certify(
+    model: ReducedOrderModel, tol: float = 1e-8, *, monitor=None
+) -> Certification:
     """Check the section-5 stability/passivity hypotheses on ``model``.
 
     The theorems assume ``J = I`` (so ``Delta_n = I``, eq. 20) and
@@ -64,6 +67,9 @@ def certify(model: ReducedOrderModel, tol: float = 1e-8) -> Certification:
     ``sigma0 - 1/lambda``; the additional bound
     ``lambda_max(T) <= 1/sigma0`` (inherited from the full system by
     Cauchy interlacing) keeps them non-positive.
+
+    When a health ``monitor`` is supplied the full certificate is
+    recorded as a ``passivity.certify`` event.
     """
     n = model.order
     delta_ok = bool(
@@ -83,7 +89,7 @@ def certify(model: ReducedOrderModel, tol: float = 1e-8) -> Certification:
         shift_ok = max_eig <= (1.0 + 1e-6) / model.sigma0
     else:
         shift_ok = model.sigma0 == 0.0
-    return Certification(
+    certification = Certification(
         certified=delta_ok and sym_ok and psd_ok and shift_ok,
         delta_is_identity=delta_ok,
         t_symmetric=sym_ok,
@@ -91,6 +97,57 @@ def certify(model: ReducedOrderModel, tol: float = 1e-8) -> Certification:
         shift_bound_holds=shift_ok,
         min_t_eigenvalue=min_eig,
         max_t_eigenvalue=max_eig,
+    )
+    if monitor is not None:
+        monitor.record(
+            "passivity.certify",
+            certified=certification.certified,
+            delta_is_identity=delta_ok,
+            t_symmetric=sym_ok,
+            t_positive_semidefinite=psd_ok,
+            shift_bound_holds=shift_ok,
+            min_t_eigenvalue=min_eig,
+            max_t_eigenvalue=max_eig,
+            sigma0=model.sigma0,
+            order=n,
+        )
+    return certification
+
+
+def clamp_spectrum(model: ReducedOrderModel) -> ReducedOrderModel:
+    """Eigenvalue clamping: repair a marginally failed PSD certificate.
+
+    Symmetrizes ``T``, clamps negative eigenvalues to zero, and (for a
+    positive shift) clamps eigenvalues above ``1/sigma0`` down to that
+    bound -- the two spectral hypotheses of the section-5 theorems that
+    roundoff can break.  The perturbation is the size of the violation,
+    so a *marginal* failure is repaired nearly losslessly; a structural
+    failure (``Delta != I``) is untouched and will still fail
+    re-certification, which is the caller's signal that clamping is the
+    wrong tool.  Used by the ``clamp-passivity`` recovery policy.
+    """
+    sym = 0.5 * (model.t + model.t.T)
+    eigenvalues, vectors = np.linalg.eigh(sym)
+    clamped = np.clip(eigenvalues, 0.0, None)
+    if model.sigma0 > 0.0:
+        clamped = np.minimum(clamped, 1.0 / model.sigma0)
+    t_new = (vectors * clamped) @ vectors.T
+    return ReducedOrderModel(
+        t=t_new,
+        delta=model.delta.copy(),
+        rho=model.rho.copy(),
+        sigma0=model.sigma0,
+        transfer=model.transfer,
+        port_names=list(model.port_names),
+        source_size=model.source_size,
+        guaranteed_stable_passive=model.guaranteed_stable_passive,
+        factorization_method=model.factorization_method,
+        metadata={
+            **model.metadata,
+            "spectrum_clamped": float(np.abs(t_new - model.t).max(initial=0.0)),
+        },
+        direct=None if model.direct is None else model.direct.copy(),
+        output=None if model.output is None else model.output.copy(),
     )
 
 

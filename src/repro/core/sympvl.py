@@ -72,6 +72,9 @@ def resolve_shift(
     system: MNASystem,
     shift: float | str,
     factor_method: str = "auto",
+    *,
+    monitor=None,
+    factor_fn=None,
 ) -> tuple[float, SymmetricFactorization]:
     """Pick the expansion point and factor ``G + sigma0 C``.
 
@@ -79,7 +82,13 @@ def resolve_shift(
     :func:`default_shift` when the unshifted ``G`` cannot be factored
     (singular -- e.g. the LC PEEC circuit of section 7.1, or RC
     interconnect with no resistive path to ground).
+
+    ``factor_fn`` replaces :func:`repro.linalg.factor_symmetric` (the
+    fault-injection seam); ``monitor`` records each candidate attempt
+    (``shift.candidate`` events).
     """
+    if factor_fn is None:
+        factor_fn = factor_symmetric
     definite_hint = True if system.psd_guaranteed else False
     if shift == "auto":
         candidates: list[float] = [0.0, default_shift(system)]
@@ -91,13 +100,23 @@ def resolve_shift(
     for sigma0 in candidates:
         g_hat = system.shifted_g(sigma0)
         try:
-            factorization = factor_symmetric(
+            factorization = factor_fn(
                 g_hat,
                 method=factor_method,
                 assume_definite=definite_hint if factor_method == "auto" else None,
+                monitor=monitor,
             )
+            if monitor is not None:
+                monitor.record(
+                    "shift.candidate", sigma0=sigma0, ok=True,
+                    method=factorization.method,
+                )
             return sigma0, factorization
         except FactorizationError as exc:
+            if monitor is not None:
+                monitor.record(
+                    "shift.candidate", sigma0=sigma0, ok=False, error=str(exc)
+                )
             last_error = exc
     raise ReductionError(
         f"could not factor G + sigma0*C for any candidate shift: {last_error}"
@@ -111,6 +130,9 @@ def sympvl(
     shift: float | str = "auto",
     options: LanczosOptions | None = None,
     factor_method: str = "auto",
+    monitor=None,
+    factor_fn=None,
+    operator_wrapper=None,
 ) -> ReducedOrderModel:
     """Compute an ``order``-state matrix-Pade reduced model of ``system``.
 
@@ -130,6 +152,15 @@ def sympvl(
         Lanczos tuning (deflation/look-ahead tolerances).
     factor_method:
         Forwarded to :func:`repro.linalg.factor_symmetric`.
+    monitor:
+        Optional :class:`repro.robustness.health.HealthMonitor`; threaded
+        through the factorization and the Lanczos process.
+    factor_fn:
+        Replacement for :func:`repro.linalg.factor_symmetric` (the
+        fault-injection / instrumentation seam).
+    operator_wrapper:
+        Optional callable applied to the :class:`LanczosOperator` before
+        the iteration starts (fault injection, perturbed restarts).
 
     Returns
     -------
@@ -145,9 +176,13 @@ def sympvl(
             f"order {order} is below the port count {system.num_ports}; "
             "the matrix-Pade form (eq. 19) needs n >= p steps"
         )
-    sigma0, factorization = resolve_shift(system, shift, factor_method)
+    sigma0, factorization = resolve_shift(
+        system, shift, factor_method, monitor=monitor, factor_fn=factor_fn
+    )
     operator = LanczosOperator(factorization, system.C, system.B)
-    result = symmetric_block_lanczos(operator, order, options)
+    if operator_wrapper is not None:
+        operator = operator_wrapper(operator)
+    result = symmetric_block_lanczos(operator, order, options, monitor=monitor)
     guaranteed = (
         system.psd_guaranteed
         and factorization.j_is_identity

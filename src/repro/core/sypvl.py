@@ -27,8 +27,15 @@ def sypvl(
     shift: float | str = "auto",
     options: LanczosOptions | None = None,
     factor_method: str = "auto",
+    monitor=None,
+    factor_fn=None,
+    operator_wrapper=None,
 ) -> ReducedOrderModel:
     """Reduce a one-port system (scalar Pade via symmetric Lanczos).
+
+    The ``monitor`` / ``factor_fn`` / ``operator_wrapper`` hooks are
+    forwarded to :func:`sympvl` unchanged (health monitoring and fault
+    injection work identically on the scalar path).
 
     Raises
     ------
@@ -41,7 +48,14 @@ def sypvl(
             "use sympvl for multi-ports"
         )
     return sympvl(
-        system, order, shift=shift, options=options, factor_method=factor_method
+        system,
+        order,
+        shift=shift,
+        options=options,
+        factor_method=factor_method,
+        monitor=monitor,
+        factor_fn=factor_fn,
+        operator_wrapper=operator_wrapper,
     )
 
 

@@ -3,6 +3,16 @@
 All errors raised intentionally by this library derive from
 :class:`ReproError`, so callers can catch library failures with a single
 ``except`` clause while letting genuine bugs (``TypeError`` etc.) surface.
+
+Two pieces of machine-readable structure live here as well:
+
+* :class:`BreakdownError` and :class:`DeflationError` carry structured
+  fields (step index, cluster size, residual norm, source block) so the
+  recovery policies in :mod:`repro.robustness.recovery` can dispatch on
+  *what* failed instead of parsing message strings;
+* :data:`EXIT_CODES` / :func:`exit_code_for` define the documented
+  process exit codes of the ``repro`` command-line tool (one code per
+  error family, see ``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -17,10 +27,34 @@ __all__ = [
     "BreakdownError",
     "DeflationError",
     "ReductionError",
+    "RecoveryExhaustedError",
     "SynthesisError",
     "SimulationError",
     "ConvergenceError",
+    "NumericalWarning",
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_PARSE",
+    "EXIT_REDUCTION",
+    "EXIT_SYNTHESIS",
+    "EXIT_FACTORIZATION",
+    "EXIT_SIMULATION",
+    "EXIT_IO",
+    "EXIT_CODES",
+    "EXIT_LABELS",
+    "exit_code_for",
 ]
+
+
+class NumericalWarning(UserWarning):
+    """A numerically questionable (but survivable) event occurred.
+
+    Emitted where the library continues with a degraded computation --
+    e.g. closing a look-ahead cluster with a pseudo-inverse after it hit
+    its size cap.  Callers can escalate with
+    ``warnings.simplefilter("error", NumericalWarning)`` or silence the
+    category wholesale; tests assert on it with ``pytest.warns``.
+    """
 
 
 class ReproError(Exception):
@@ -63,19 +97,83 @@ class BreakdownError(ReproError):
     With look-ahead enabled this occurs only when the whole remaining
     Krylov space is exhausted in a defective way; the partial results up
     to the breakdown step are still usable and attached as ``partial``.
+
+    Structured fields (all optional, ``None`` when not applicable) let
+    recovery policies and tests dispatch without string matching:
+
+    ``step``
+        Number of Lanczos vectors built when the breakdown was detected.
+    ``cluster_size``
+        Size of the offending look-ahead cluster (e.g. the number of
+        trailing vectors an incurable breakdown would truncate).
+    ``residual_norm``
+        Norm of the candidate that triggered the failure (NaN for a
+        non-finite candidate).
+    ``source``
+        Provenance of that candidate, same convention as
+        :class:`repro.core.lanczos.DeflationEvent`: ``("b", j)`` for
+        starting-block column ``j``, ``("av", m)`` for the candidate
+        generated from Lanczos vector ``m``, ``("inject", k)`` for an
+        injected fault.
     """
 
-    def __init__(self, message: str, partial=None):
+    def __init__(
+        self,
+        message: str,
+        partial=None,
+        *,
+        step: int | None = None,
+        cluster_size: int | None = None,
+        residual_norm: float | None = None,
+        source: tuple[str, int] | None = None,
+    ):
         super().__init__(message)
         self.partial = partial
+        self.step = step
+        self.cluster_size = cluster_size
+        self.residual_norm = residual_norm
+        self.source = source
 
 
 class DeflationError(ReproError):
-    """Inconsistent deflation state detected inside the Lanczos process."""
+    """Inconsistent deflation state detected inside the Lanczos process.
+
+    Carries the same structured fields as :class:`BreakdownError` (see
+    there for semantics) so callers can locate the offending step.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        step: int | None = None,
+        cluster_size: int | None = None,
+        residual_norm: float | None = None,
+        source: tuple[str, int] | None = None,
+    ):
+        super().__init__(message)
+        self.step = step
+        self.cluster_size = cluster_size
+        self.residual_norm = residual_norm
+        self.source = source
 
 
 class ReductionError(ReproError):
     """A model-order-reduction driver could not produce a model."""
+
+
+class RecoveryExhaustedError(ReductionError):
+    """Every recovery attempt of the robust reduction pipeline failed.
+
+    ``report`` holds the :class:`repro.robustness.recovery.RecoveryReport`
+    with one entry per attempt, and ``last_error`` the exception of the
+    final attempt.
+    """
+
+    def __init__(self, message: str, *, report=None, last_error=None):
+        super().__init__(message)
+        self.report = report
+        self.last_error = last_error
 
 
 class SynthesisError(ReproError):
@@ -88,3 +186,55 @@ class SimulationError(ReproError):
 
 class ConvergenceError(SimulationError):
     """An iterative simulation loop failed to converge."""
+
+
+# ---------------------------------------------------------------------------
+# documented CLI exit codes (one per error family)
+# ---------------------------------------------------------------------------
+EXIT_OK = 0
+EXIT_FAILURE = 1  # unclassified ReproError / unexpected failure
+EXIT_PARSE = 2  # netlist parse / circuit validation errors
+EXIT_REDUCTION = 3  # reduction drivers, Lanczos breakdown/deflation
+EXIT_SYNTHESIS = 4  # reduced-circuit synthesis
+EXIT_FACTORIZATION = 5  # symmetric factorization
+EXIT_SIMULATION = 6  # AC/transient simulation
+EXIT_IO = 7  # file system errors (missing input, unwritable output)
+
+#: Most-derived-first mapping from error class to exit code; resolution
+#: walks the exception's MRO so subclasses inherit their family's code.
+EXIT_CODES: dict[type, int] = {
+    NetlistParseError: EXIT_PARSE,
+    CircuitError: EXIT_PARSE,
+    BreakdownError: EXIT_REDUCTION,
+    DeflationError: EXIT_REDUCTION,
+    ReductionError: EXIT_REDUCTION,
+    SynthesisError: EXIT_SYNTHESIS,
+    FactorizationError: EXIT_FACTORIZATION,
+    SimulationError: EXIT_SIMULATION,
+    OSError: EXIT_IO,
+    ReproError: EXIT_FAILURE,
+}
+
+#: Short family label per exit code, used in CLI error lines.
+EXIT_LABELS: dict[int, str] = {
+    EXIT_FAILURE: "error",
+    EXIT_PARSE: "parse",
+    EXIT_REDUCTION: "reduction",
+    EXIT_SYNTHESIS: "synthesis",
+    EXIT_FACTORIZATION: "factorization",
+    EXIT_SIMULATION: "simulation",
+    EXIT_IO: "io",
+}
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map an exception to its documented CLI exit code.
+
+    The exception's method-resolution order is walked so the most
+    specific registered ancestor wins (e.g. ``ConvergenceError`` ->
+    ``SimulationError`` -> 6).  Unregistered exceptions map to 1.
+    """
+    for klass in type(exc).__mro__:
+        if klass in EXIT_CODES:
+            return EXIT_CODES[klass]
+    return EXIT_FAILURE

@@ -19,11 +19,13 @@ from repro.linalg.ordering import rcm_ordering
 __all__ = ["dense_cholesky", "sparse_cholesky", "SparseCholesky"]
 
 
-def dense_cholesky(a: np.ndarray) -> np.ndarray:
+def dense_cholesky(a: np.ndarray, *, monitor=None) -> np.ndarray:
     """Lower-triangular Cholesky factor of a dense SPD matrix.
 
     A textbook right-looking implementation with vectorized column
     updates; raises :class:`FactorizationError` on a non-positive pivot.
+    When a health ``monitor`` is supplied the pivot extrema and the
+    margin to the singularity floor are recorded (``factor.pivots``).
     """
     a = np.array(a, dtype=float)
     n = a.shape[0]
@@ -33,19 +35,34 @@ def dense_cholesky(a: np.ndarray) -> np.ndarray:
     # relative pivot floor: pivots this far below the diagonal scale mean
     # the matrix is numerically singular, not usably positive definite
     floor = 1e-12 * float(np.abs(np.diag(a)).max()) if n else 0.0
+    min_pivot = math.inf
+    max_pivot = 0.0
     for k in range(n):
         pivot = a[k, k]
         if pivot <= floor or not math.isfinite(pivot):
+            if monitor is not None:
+                monitor.record(
+                    "factor.failure", method="dense-cholesky", step=k,
+                    pivot=pivot, floor=floor,
+                )
             raise FactorizationError(
                 f"non-positive or negligible pivot {pivot:.3e} at step {k}; "
                 "matrix is not (numerically) positive definite"
             )
+        min_pivot = min(min_pivot, pivot)
+        max_pivot = max(max_pivot, pivot)
         root = math.sqrt(pivot)
         lower[k, k] = root
         if k + 1 < n:
             column = a[k + 1 :, k] / root
             lower[k + 1 :, k] = column
             a[k + 1 :, k + 1 :] -= np.outer(column, column)
+    if monitor is not None and n:
+        monitor.record(
+            "factor.pivots", method="dense-cholesky", size=n,
+            min_pivot=min_pivot, max_pivot=max_pivot, floor=floor,
+            margin=(min_pivot - floor) / max(max_pivot, 1e-300),
+        )
     return lower
 
 
@@ -98,6 +115,7 @@ def sparse_cholesky(
     a: sp.spmatrix,
     *,
     order: str = "rcm",
+    monitor=None,
 ) -> SparseCholesky:
     """Up-looking sparse Cholesky of a symmetric positive-definite matrix.
 
@@ -149,6 +167,8 @@ def sparse_cholesky(
     rows_out: list[int] = []
     cols_out: list[int] = []
     vals_out: list[float] = []
+    min_pivot = math.inf
+    max_pivot = 0.0
 
     for i in range(n):
         # gather column i of the permuted matrix, rows <= i
@@ -191,14 +211,27 @@ def sparse_cholesky(
             sq += yj * yj
         pivot = a_ii - sq
         if pivot <= floor or not math.isfinite(pivot):
+            if monitor is not None:
+                monitor.record(
+                    "factor.failure", method="sparse-cholesky", step=i,
+                    pivot=pivot, floor=floor,
+                )
             raise FactorizationError(
                 f"non-positive or negligible pivot {pivot:.3e} at step {i}; "
                 "matrix is not (numerically) positive definite"
             )
+        min_pivot = min(min_pivot, pivot)
+        max_pivot = max(max_pivot, pivot)
         diag[i] = math.sqrt(pivot)
         rows_out.append(i)
         cols_out.append(i)
         vals_out.append(diag[i])
 
+    if monitor is not None and n:
+        monitor.record(
+            "factor.pivots", method="sparse-cholesky", size=n,
+            min_pivot=min_pivot, max_pivot=max_pivot, floor=floor,
+            margin=(min_pivot - floor) / max(max_pivot, 1e-300),
+        )
     lower = sp.csr_matrix((vals_out, (rows_out, cols_out)), shape=(n, n))
     return SparseCholesky(lower, perm)

@@ -158,10 +158,12 @@ class LDLTDenseFactorization(SymmetricFactorization):
     #: relative threshold below which a pivot block flags (near) singularity
     _PIVOT_RTOL = 1e-12
 
-    def __init__(self, g_dense: np.ndarray, *, engine: str = "scipy"):
+    def __init__(
+        self, g_dense: np.ndarray, *, engine: str = "scipy", monitor=None
+    ):
         n = g_dense.shape[0]
         if engine == "python":
-            fact = bunch_kaufman(g_dense)
+            fact = bunch_kaufman(g_dense, monitor=monitor)
             self._lower = fact.lower
             self._perm = fact.perm
             self._j = fact.j
@@ -173,12 +175,12 @@ class LDLTDenseFactorization(SymmetricFactorization):
             self._j = _blocks_from_dense(d)
         else:
             raise FactorizationError(f"unknown LDLT engine {engine!r}")
-        self._check_pivots()
         self._engine = engine
+        self._check_pivots(monitor)
         self._inverse_perm = np.empty(n, dtype=np.intp)
         self._inverse_perm[self._perm] = np.arange(n, dtype=np.intp)
 
-    def _check_pivots(self) -> None:
+    def _check_pivots(self, monitor=None) -> None:
         """Reject (numerically) singular matrices.
 
         LAPACK's ``sytrf`` happily returns near-zero pivots for singular
@@ -193,10 +195,27 @@ class LDLTDenseFactorization(SymmetricFactorization):
             return
         smallest = min(float(e.min()) for e in extremes)
         largest = max(float(e.max()) for e in extremes)
+        ratio = smallest / max(largest, 1e-300)
+        if monitor is not None:
+            monitor.record(
+                "factor.pivots",
+                method=f"bunch-kaufman-{self._engine}",
+                size=self._j.size,
+                min_pivot=smallest,
+                max_pivot=largest,
+                margin=ratio,
+            )
         if smallest <= self._PIVOT_RTOL * max(largest, 1e-300):
+            if monitor is not None:
+                monitor.record(
+                    "factor.failure",
+                    method="bunch-kaufman",
+                    pivot=smallest,
+                    ratio=ratio,
+                )
             raise FactorizationError(
                 f"matrix is numerically singular (pivot ratio "
-                f"{smallest / max(largest, 1e-300):.2e}); "
+                f"{ratio:.2e}); "
                 "use a nonzero expansion shift"
             )
 
@@ -259,6 +278,7 @@ def factor_symmetric(
     *,
     method: str = "auto",
     assume_definite: bool | None = None,
+    monitor=None,
 ) -> SymmetricFactorization:
     """Factor a symmetric matrix as ``G = M J M^T``.
 
@@ -273,6 +293,10 @@ def factor_symmetric(
     assume_definite:
         Hint used by ``"auto"``: ``False`` skips the Cholesky attempt
         (saves time on matrices known to be indefinite).
+    monitor:
+        Optional :class:`repro.robustness.health.HealthMonitor`; pivot
+        statistics, failed attempts, and the method finally chosen are
+        recorded into it.
 
     Raises
     ------
@@ -291,23 +315,51 @@ def factor_symmetric(
             )
         return g.toarray() if is_sparse else np.asarray(g, dtype=float)
 
+    def done(fact: SymmetricFactorization) -> SymmetricFactorization:
+        if monitor is not None:
+            monitor.record(
+                "factor.method", method=fact.method, size=fact.size,
+                j_identity=fact.j_is_identity,
+            )
+        return fact
+
     if method == "sparse-cholesky":
-        return CholeskyFactorization(sparse_cholesky(sp.csc_matrix(g)))
+        return done(
+            CholeskyFactorization(
+                sparse_cholesky(sp.csc_matrix(g), monitor=monitor)
+            )
+        )
     if method == "dense-cholesky":
-        return DenseCholeskyFactorization(dense_cholesky(to_dense()))
+        return done(
+            DenseCholeskyFactorization(dense_cholesky(to_dense(), monitor=monitor))
+        )
     if method == "ldlt":
-        return LDLTDenseFactorization(to_dense(), engine="scipy")
+        return done(
+            LDLTDenseFactorization(to_dense(), engine="scipy", monitor=monitor)
+        )
     if method == "ldlt-python":
-        return LDLTDenseFactorization(to_dense(), engine="python")
+        return done(
+            LDLTDenseFactorization(to_dense(), engine="python", monitor=monitor)
+        )
     if method != "auto":
         raise FactorizationError(f"unknown factorization method {method!r}")
 
     if assume_definite is not False:
         try:
             if is_sparse and n > 200:
-                return CholeskyFactorization(sparse_cholesky(sp.csc_matrix(g)))
-            return DenseCholeskyFactorization(dense_cholesky(to_dense()))
+                return done(
+                    CholeskyFactorization(
+                        sparse_cholesky(sp.csc_matrix(g), monitor=monitor)
+                    )
+                )
+            return done(
+                DenseCholeskyFactorization(
+                    dense_cholesky(to_dense(), monitor=monitor)
+                )
+            )
         except FactorizationError:
             if assume_definite is True:
                 raise
-    return LDLTDenseFactorization(to_dense(), engine="scipy")
+    return done(
+        LDLTDenseFactorization(to_dense(), engine="scipy", monitor=monitor)
+    )

@@ -122,10 +122,12 @@ class LDLTFactorization:
         return out
 
 
-def bunch_kaufman(a: np.ndarray) -> LDLTFactorization:
+def bunch_kaufman(a: np.ndarray, *, monitor=None) -> LDLTFactorization:
     """Bunch-Kaufman symmetric-indefinite factorization of dense ``a``.
 
     Returns :class:`LDLTFactorization` with ``P a P^T = L J L^T``.
+    When a health ``monitor`` is supplied, the pivot-block census and
+    eigenvalue extrema of ``J`` are recorded (``factor.pivots``).
 
     Raises
     ------
@@ -193,6 +195,11 @@ def bunch_kaufman(a: np.ndarray) -> LDLTFactorization:
                         starts.append(kk)
                         blocks.append(np.zeros((1, 1)))
                     break
+                if monitor is not None:
+                    monitor.record(
+                        "factor.failure", method="bunch-kaufman-python",
+                        step=k, pivot=0.0,
+                    )
                 raise FactorizationError(
                     f"zero pivot at step {k}; matrix is singular"
                 )
@@ -209,6 +216,11 @@ def bunch_kaufman(a: np.ndarray) -> LDLTFactorization:
             block = a[k : k + 2, k : k + 2].copy()
             det = block[0, 0] * block[1, 1] - block[0, 1] * block[1, 0]
             if det == 0.0:
+                if monitor is not None:
+                    monitor.record(
+                        "factor.failure", method="bunch-kaufman-python",
+                        step=k, pivot=0.0, pivot_size=2,
+                    )
                 raise FactorizationError(
                     f"singular 2x2 pivot at step {k}; matrix is singular"
                 )
@@ -223,8 +235,20 @@ def bunch_kaufman(a: np.ndarray) -> LDLTFactorization:
             blocks.append(0.5 * (block + block.T))
             k += 2
 
-    return LDLTFactorization(
-        lower=lower,
-        j=BlockDiagonal(tuple(starts), tuple(blocks), n),
-        perm=perm,
-    )
+    j = BlockDiagonal(tuple(starts), tuple(blocks), n)
+    if monitor is not None and blocks:
+        eigs = np.concatenate([np.linalg.eigvalsh(b) for b in blocks])
+        abs_eigs = np.abs(eigs)
+        largest = float(abs_eigs.max())
+        smallest = float(abs_eigs.min())
+        monitor.record(
+            "factor.pivots",
+            method="bunch-kaufman-python",
+            size=n,
+            one_by_one=sum(1 for b in blocks if b.shape == (1, 1)),
+            two_by_two=sum(1 for b in blocks if b.shape == (2, 2)),
+            min_pivot=smallest,
+            max_pivot=largest,
+            margin=smallest / max(largest, 1e-300),
+        )
+    return LDLTFactorization(lower=lower, j=j, perm=perm)

@@ -1,0 +1,59 @@
+"""Guarded reduction pipeline: health monitoring, recovery, fault injection.
+
+The numerical core of SyMPVL is fragile by construction (deflation,
+look-ahead, incurable breakdown, indefinite pivoting, passivity
+certification -- paper section 4 and 5).  This subpackage turns those
+failure surfaces into observable, recoverable events:
+
+* :mod:`repro.robustness.health` -- a :class:`HealthMonitor` that the
+  factorization, Lanczos, and certification layers record structured
+  diagnostics into, summarized as a :class:`ReductionHealth` report;
+* :mod:`repro.robustness.recovery` -- composable recovery policies and
+  the :func:`robust_reduce` driver that retries a failing reduction
+  (perturbed restart, shift regularization, order backoff, engine
+  fallback, passivity clamping) and logs every attempt into a
+  :class:`RecoveryReport`;
+* :mod:`repro.robustness.faultinject` -- deterministic fault injection
+  (NaNs, near-singular pivots, forced deflations, hard breakdowns) used
+  by the regression tests and the hidden ``--inject-fault`` CLI flag.
+
+See ``docs/ROBUSTNESS.md`` for the report schemas and usage.
+"""
+
+from repro.robustness.faultinject import (
+    FaultInjectingOperator,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.robustness.health import HealthEvent, HealthMonitor, ReductionHealth
+from repro.robustness.recovery import (
+    EngineFallbackPolicy,
+    OrderBackoffPolicy,
+    PerturbedRestartPolicy,
+    RecoveryAttempt,
+    RecoveryPolicy,
+    RecoveryReport,
+    RobustReduction,
+    ShiftRegularizationPolicy,
+    default_policies,
+    robust_reduce,
+)
+
+__all__ = [
+    "HealthEvent",
+    "HealthMonitor",
+    "ReductionHealth",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjectingOperator",
+    "RecoveryPolicy",
+    "PerturbedRestartPolicy",
+    "ShiftRegularizationPolicy",
+    "OrderBackoffPolicy",
+    "EngineFallbackPolicy",
+    "RecoveryAttempt",
+    "RecoveryReport",
+    "RobustReduction",
+    "default_policies",
+    "robust_reduce",
+]

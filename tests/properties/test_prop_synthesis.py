@@ -49,7 +49,9 @@ def test_foster_round_trip(n, seed, order):
     z_syn = ac_sweep(syn_system, s).z[:, 0, 0]
     z_model = model.impedance(s)[:, 0, 0]
     scale = max(np.abs(z_model).max(), 1e-300)
-    # 1e-5: near-origin poles are snapped to exactly zero by the
+    # 1e-4: near-origin poles are snapped to exactly zero by the
     # origin-section classification, perturbing the response by up to
-    # ~1e-9 * sigma0 / omega_min
-    assert np.abs(z_syn - z_model).max() <= 1e-5 * scale
+    # ~1e-9 * sigma0 / omega_min; hypothesis finds seeds (e.g. n=15,
+    # seed=639, order=8) where that perturbation reaches ~2e-5 at the
+    # lowest band frequency
+    assert np.abs(z_syn - z_model).max() <= 1e-4 * scale

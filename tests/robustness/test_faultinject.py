@@ -1,0 +1,180 @@
+"""Fault-injection regressions for the rare-branch Lanczos code paths.
+
+Each fault is delivered through the library's public seams (the
+``operator_wrapper`` / ``factor_fn`` hooks of :func:`repro.sympvl`), so
+these tests exercise exactly the code a production failure would.
+"""
+
+import pytest
+
+import repro
+from repro.errors import BreakdownError, ReproError
+from repro.robustness import (
+    FaultPlan,
+    FaultSpec,
+    HealthMonitor,
+    robust_reduce,
+)
+
+pytestmark = pytest.mark.faultinject
+
+
+@pytest.fixture
+def rc_system():
+    return repro.assemble_mna(repro.rc_ladder(20, port_at_far_end=True))
+
+
+def reduce_with_plan(system, order, plan, **kwargs):
+    from repro.linalg.factorization import factor_symmetric
+
+    return repro.sympvl(
+        system,
+        order,
+        operator_wrapper=plan.wrap_operator,
+        factor_fn=plan.wrap_factor(factor_symmetric),
+        **kwargs,
+    )
+
+
+class TestSpecGrammar:
+    def test_parse_single(self):
+        plan = FaultPlan.parse("breakdown@6")
+        assert plan.specs == (FaultSpec("breakdown", 6, sticky=True),)
+
+    def test_parse_once_and_list(self):
+        plan = FaultPlan.parse("nan@2:once, pivot@0")
+        assert plan.specs[0] == FaultSpec("nan", 2, sticky=False)
+        assert plan.specs[1] == FaultSpec("pivot", 0, sticky=True)
+        assert plan.specs[0].spec_string() == "nan@2:once"
+
+    @pytest.mark.parametrize("bad", [
+        "explode@3",          # unknown kind
+        "nan@minus",          # non-integer step
+        "nan",                # missing @step
+        "nan@2:sometimes",    # unknown modifier
+        "",                   # empty
+    ])
+    def test_parse_rejects_bad_specs(self, bad):
+        with pytest.raises(ReproError):
+            FaultPlan.parse(bad)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec("nan", -1)
+
+
+class TestOperatorFaults:
+    def test_exact_deflation_branch(self, rc_system):
+        # a zeroed K v product must be deflated *exactly* (step 1d)
+        plan = FaultPlan.parse("deflate@4")
+        model = reduce_with_plan(rc_system, 8, plan, shift=1e8)
+        deflations = model.metadata["lanczos"].deflations
+        assert any(d.exact for d in deflations)
+        assert plan.triggered[0]["kind"] == "deflate"
+
+    def test_inexact_deflation_cluster_branch(self, rc_system):
+        # a product equal to the input + O(1e-12) noise orthogonalizes to
+        # a tiny-but-nonzero residual: the inexact branch records it in I_v
+        plan = FaultPlan.parse("deflate-inexact@4")
+        model = reduce_with_plan(rc_system, 8, plan, shift=1e8)
+        deflations = model.metadata["lanczos"].deflations
+        inexact = [d for d in deflations if not d.exact]
+        assert inexact, "expected an inexact deflation in the I_v set"
+        assert all(d.residual_norm > 0.0 for d in inexact)
+
+    def test_nan_product_raises_structured_breakdown(self, rc_system):
+        plan = FaultPlan.parse("nan@3")
+        monitor = HealthMonitor()
+        plan.monitor = monitor
+        with pytest.raises(BreakdownError) as excinfo:
+            reduce_with_plan(rc_system, 8, plan, shift=1e8, monitor=monitor)
+        err = excinfo.value
+        assert err.step is not None
+        assert err.source is not None
+        health = monitor.report()
+        assert not health.healthy
+        assert health.breakdowns
+        assert health.faults_triggered[0]["kind"] == "nan"
+
+    def test_injected_breakdown_carries_step(self, rc_system):
+        plan = FaultPlan.parse("breakdown@5")
+        with pytest.raises(BreakdownError) as excinfo:
+            reduce_with_plan(rc_system, 8, plan, shift=1e8)
+        assert excinfo.value.step == 5
+        assert excinfo.value.source == ("inject", 5)
+
+    def test_once_fault_fires_once_across_attempts(self, rc_system):
+        plan = FaultPlan.parse("breakdown@2:once")
+        with pytest.raises(BreakdownError):
+            reduce_with_plan(rc_system, 8, plan, shift=1e8)
+        # second run through the same plan: the fault is spent
+        model = reduce_with_plan(rc_system, 8, plan, shift=1e8)
+        assert model.order == 8
+        assert len(plan.triggered) == 1
+
+    def test_sticky_fault_fires_every_attempt(self, rc_system):
+        plan = FaultPlan.parse("breakdown@2")
+        for _ in range(2):
+            with pytest.raises(BreakdownError):
+                reduce_with_plan(rc_system, 8, plan, shift=1e8)
+        assert len(plan.triggered) == 2
+
+
+class TestFactorFaults:
+    def test_pivot_fault_triggers_real_detection(self, rc_system):
+        # singularized matrix, explicit shift -> the genuine pivot check
+        # inside the factorization raises, surfaced via resolve_shift
+        from repro.errors import ReductionError
+
+        plan = FaultPlan.parse("pivot@0")
+        monitor = HealthMonitor()
+        plan.monitor = monitor
+        with pytest.raises(ReductionError, match="factor"):
+            reduce_with_plan(
+                rc_system, 6, plan, shift=1e8, monitor=monitor,
+                factor_method="ldlt",
+            )
+        health = monitor.report()
+        assert health.faults_triggered[0]["kind"] == "pivot"
+        assert health.shift_attempts[-1]["ok"] is False
+
+    def test_pivot_fault_recovered_by_shift_ladder(self, rc_system):
+        # with shift="auto" the second candidate's factor call is index 1,
+        # so a once-fault at call 0 is healed by the built-in ladder
+        plan = FaultPlan.parse("pivot@0:once")
+        monitor = HealthMonitor()
+        plan.monitor = monitor
+        model = reduce_with_plan(
+            rc_system, 6, plan, shift="auto", monitor=monitor
+        )
+        assert model.order == 6
+        attempts = monitor.report().shift_attempts
+        assert attempts[0]["ok"] is False
+        assert attempts[-1]["ok"] is True
+
+    def test_pivot_fault_recovered_by_policy_engine(self, rc_system):
+        # explicit shift leaves one candidate per attempt: recovery must
+        # come from the shift-regularization policy
+        plan = FaultPlan.parse("pivot@0:once")
+        result = robust_reduce(rc_system, 6, shift=1e8, fault_plan=plan)
+        assert result.report.recovered
+        policies = [a.policy for a in result.report.attempts if a.succeeded]
+        assert "regularize-shift" in policies
+
+
+class TestGenuineIncurableBreakdown:
+    def test_random_rlc_truncates_without_injection(self):
+        # regression companion to the injected faults: a real incurable
+        # breakdown (same system as tests/core/test_lanczos.py) must be
+        # recorded by the monitor with reason="incurable"
+        net = repro.random_passive("RLC", 8, seed=3120, n_ports=2)
+        system = repro.assemble_mna(net)
+        monitor = HealthMonitor()
+        model = repro.sympvl(system, system.size, monitor=monitor)
+        health = monitor.report()
+        incurable = [
+            b for b in health.breakdowns if b.get("reason") == "incurable"
+        ]
+        assert incurable, "expected an incurable-breakdown truncation event"
+        assert model.order < system.size
+        assert not health.healthy

@@ -1,11 +1,19 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 import repro
 from repro.circuits import write_netlist
 from repro.cli import main
+from repro.errors import (
+    EXIT_IO,
+    EXIT_PARSE,
+    EXIT_REDUCTION,
+    EXIT_SYNTHESIS,
+)
 
 
 @pytest.fixture
@@ -24,8 +32,8 @@ class TestInfo:
         assert "RC" in out
 
     def test_missing_file(self, tmp_path, capsys):
-        assert main(["info", str(tmp_path / "nope.sp")]) == 1
-        assert "error" in capsys.readouterr().err
+        assert main(["info", str(tmp_path / "nope.sp")]) == EXIT_IO
+        assert "error [io]" in capsys.readouterr().err
 
 
 class TestReduce:
@@ -70,8 +78,10 @@ class TestReduce:
     def test_invalid_netlist_fails_validation(self, tmp_path, capsys):
         bad = tmp_path / "bad.sp"
         bad.write_text("R1 a 0 -5\n.PORT p a\n")  # negative resistor
-        assert main(["reduce", str(bad), "--order", "2"]) == 1
-        assert "passivity" in capsys.readouterr().err
+        assert main(["reduce", str(bad), "--order", "2"]) == EXIT_PARSE
+        err = capsys.readouterr().err
+        assert "passivity" in err
+        assert "error [parse]" in err
 
     def test_no_validate_skips(self, tmp_path, capsys):
         bad = tmp_path / "bad.sp"
@@ -81,6 +91,140 @@ class TestReduce:
             "--shift", "1e8",
         ])
         assert code == 0
+
+
+class TestExitCodes:
+    """Every failure family maps to its documented exit code."""
+
+    def test_parse_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sp"
+        bad.write_text("garbage line\n")
+        assert main(["reduce", str(bad), "--order", "4"]) == EXIT_PARSE
+        err = capsys.readouterr().err
+        assert err.startswith("error [parse]:")
+        assert "Traceback" not in err
+
+    def test_reduction_error(self, netlist_file, capsys):
+        # order below the port count is rejected by sympvl
+        assert main([
+            "reduce", str(netlist_file), "--order", "1", "--shift", "1e8",
+        ]) == EXIT_REDUCTION
+        assert capsys.readouterr().err.startswith("error [reduction]:")
+
+    def test_synthesis_error(self, netlist_file, tmp_path, capsys,
+                             monkeypatch):
+        from repro.errors import SynthesisError
+
+        def boom(model, prune_tol=0.0):
+            raise SynthesisError("forced synthesis failure")
+
+        monkeypatch.setattr("repro.cli.synthesize_rc", boom)
+        code = main([
+            "reduce", str(netlist_file), "--order", "8", "--shift", "1e8",
+            "--out", str(tmp_path / "o.sp"),
+        ])
+        assert code == EXIT_SYNTHESIS
+        assert capsys.readouterr().err.startswith("error [synthesis]:")
+
+    def test_io_error_unreadable_input(self, tmp_path, capsys):
+        assert main([
+            "reduce", str(tmp_path / "nope.sp"), "--order", "4",
+        ]) == EXIT_IO
+        assert capsys.readouterr().err.startswith("error [io]:")
+
+    def test_messages_are_one_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sp"
+        bad.write_text("garbage line\n")
+        main(["reduce", str(bad), "--order", "4"])
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+
+
+@pytest.mark.faultinject
+class TestRobustMode:
+    """The ISSUE acceptance scenario: injected incurable breakdown."""
+
+    def test_injected_breakdown_recovers_with_robust(
+        self, netlist_file, tmp_path, capsys
+    ):
+        diag = tmp_path / "diag.json"
+        code = main([
+            "reduce", str(netlist_file), "--order", "12", "--robust",
+            "--inject-fault", "breakdown@6", "--diagnostics", str(diag),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        payload = json.loads(diag.read_text())
+        # the fault, every attempt, and the final engine/order are recorded
+        assert payload["fault_injection"]["triggered"]
+        assert payload["fault_injection"]["triggered"][0]["kind"] == (
+            "breakdown"
+        )
+        attempts = payload["recovery"]["attempts"]
+        assert len(attempts) >= 2
+        assert attempts[0]["succeeded"] is False
+        assert attempts[-1]["succeeded"] is True
+        assert payload["engine"] in ("sympvl", "sypvl", "arnoldi")
+        assert payload["order"] is not None
+        if payload["engine"] == "sympvl":
+            assert payload["order"] <= 6  # backed off below the fault step
+
+    def test_injected_breakdown_fails_without_robust(
+        self, netlist_file, capsys
+    ):
+        code = main([
+            "reduce", str(netlist_file), "--order", "12",
+            "--inject-fault", "breakdown@6",
+        ])
+        assert code == EXIT_REDUCTION
+        err = capsys.readouterr().err
+        assert err.startswith("error [reduction]:")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_fallback_engine_completes(self, netlist_file, tmp_path, capsys):
+        # sticky breakdown at step 0 defeats restarts and order backoff
+        # (floor = 2 ports > 0), leaving only the engine fallback
+        diag = tmp_path / "diag.json"
+        code = main([
+            "reduce", str(netlist_file), "--order", "8", "--robust",
+            "--inject-fault", "breakdown@0",
+            "--band", "1e7", "1e10",
+            "--diagnostics", str(diag),
+        ])
+        assert code == 0
+        payload = json.loads(diag.read_text())
+        assert payload["recovery"]["attempts"][-1]["policy"] == (
+            "fallback-engine"
+        )
+        assert payload["engine"] == "arnoldi"
+        assert "band accuracy" in capsys.readouterr().out
+
+    def test_fallback_none_exhausts(self, netlist_file, tmp_path, capsys):
+        diag = tmp_path / "diag.json"
+        code = main([
+            "reduce", str(netlist_file), "--order", "8", "--robust",
+            "--inject-fault", "breakdown@0", "--fallback", "none",
+            "--diagnostics", str(diag),
+        ])
+        assert code == EXIT_REDUCTION
+        # diagnostics are written on failure too
+        payload = json.loads(diag.read_text())
+        assert payload["error"]
+        assert payload["recovery"]["gave_up"] is True
+
+    def test_diagnostics_without_robust(self, netlist_file, tmp_path):
+        diag = tmp_path / "diag.json"
+        code = main([
+            "reduce", str(netlist_file), "--order", "8", "--shift", "1e8",
+            "--diagnostics", str(diag),
+        ])
+        assert code == 0
+        payload = json.loads(diag.read_text())
+        assert payload["engine"] == "sympvl"
+        assert payload["recovery"] is None
+        assert payload["health"]["healthy"] is True
 
 
 class TestGenerate:
