@@ -1,0 +1,200 @@
+"""ENGINE -- compiled evaluation and reduction-cache speedups.
+
+Measures, on the Fig. 2 PEEC testbed (the paper's LC two-port):
+
+* per-point evaluation time of the compiled pole-residue form vs the
+  uncompiled per-point dense-solve path (threshold: >= 5x), and
+* end-to-end time of a cache-hit repeat reduction vs the cold
+  reduction (threshold: >= 10x), for both the in-memory LRU and a
+  fresh-process disk hit.
+
+Writes ``benchmarks/BENCH_ENGINE.json`` (the CI artifact) plus the
+usual human-readable report, and exits nonzero when a threshold is
+missed -- this is the engine smoke gate of ``.github/workflows/ci.yml``.
+
+Usage::
+
+    python benchmarks/bench_engine.py [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+import repro
+from repro.circuits.mna import lc_inductor_current_output, with_output_columns
+from repro.engine import CompiledModel, Engine
+
+from _util import save_report
+
+PER_POINT_THRESHOLD = 5.0
+CACHE_THRESHOLD = 10.0
+JSON_PATH = pathlib.Path(__file__).parent / "BENCH_ENGINE.json"
+
+
+def build_testbed(quick: bool):
+    """The Fig. 2 PEEC LC two-port (drive node + inductor-current
+    output, eq. 25); smaller but same-shaped under ``--quick``."""
+    n_cells = 60 if quick else 200
+    net = repro.peec_like_lc(n_cells)
+    system = repro.assemble_mna(net)
+    mid = f"L{len(net.inductors) // 2}"
+    column = lc_inductor_current_output(net, mid)
+    system = with_output_columns(system, column, [f"i({mid})"])
+    order = 24 if quick else 50
+    points = 160 if quick else 400
+    band = np.linspace(1.5e9, 4.0e10, points)
+    return system, order, 1j * band
+
+
+def best_of(repeats, fn):
+    """Minimum wall time over ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure_eval(system, order, s, repeats):
+    model = repro.sympvl(system, order=order)
+    sigma = np.atleast_1d(system.transfer.sigma(s))
+
+    direct_s, z_direct = best_of(
+        repeats, lambda: model._kernel_direct(sigma)
+    )
+
+    compile_start = time.perf_counter()
+    compiled = CompiledModel.compile(model)
+    compile_s = time.perf_counter() - compile_start
+    if not compiled.is_spectral:
+        raise SystemExit(
+            f"PEEC testbed unexpectedly fell back to direct mode "
+            f"({compiled.fallback_reason}); no speedup to measure"
+        )
+    compiled_s, z_compiled = best_of(repeats, lambda: compiled.kernel(sigma))
+
+    accuracy = float(
+        np.abs(z_compiled - z_direct).max() / np.abs(z_direct).max()
+    )
+    m = sigma.size
+    return {
+        "order": model.order,
+        "points": m,
+        "direct": {"total_s": direct_s, "per_point_us": 1e6 * direct_s / m},
+        "compiled": {
+            "total_s": compiled_s,
+            "per_point_us": 1e6 * compiled_s / m,
+            "compile_s": compile_s,
+            "mode": compiled.mode,
+        },
+        "speedup_per_point": direct_s / compiled_s,
+        "rel_error_vs_direct": accuracy,
+    }
+
+
+def measure_cache(system, order):
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        engine = Engine(cache_dir=tmp)
+        cold_start = time.perf_counter()
+        engine.reduce(system, order)
+        cold_s = time.perf_counter() - cold_start
+
+        warm_start = time.perf_counter()
+        engine.reduce(system, order)
+        warm_s = time.perf_counter() - warm_start
+
+        fresh = Engine(cache_dir=tmp)  # new session: memory LRU empty
+        disk_start = time.perf_counter()
+        fresh.reduce(system, order)
+        disk_s = time.perf_counter() - disk_start
+        disk_hit = fresh.cache.stats.disk_hits == 1
+
+    return {
+        "cold_s": cold_s,
+        "warm_memory_s": warm_s,
+        "warm_disk_s": disk_s,
+        "disk_hit": disk_hit,
+        "speedup_end_to_end": cold_s / warm_s,
+        "speedup_disk": cold_s / disk_s if disk_s > 0 else float("inf"),
+    }
+
+
+def run(quick: bool, json_path: pathlib.Path) -> int:
+    system, order, s = build_testbed(quick)
+    repeats = 3 if quick else 5
+    eval_stats = measure_eval(system, order, s, repeats)
+    cache_stats = measure_cache(system, order)
+
+    checks = {
+        "per_point_speedup_ge_5x": (
+            eval_stats["speedup_per_point"] >= PER_POINT_THRESHOLD
+        ),
+        "cache_hit_speedup_ge_10x": (
+            cache_stats["speedup_end_to_end"] >= CACHE_THRESHOLD
+        ),
+        "disk_cache_hit": cache_stats["disk_hit"],
+        "compiled_matches_direct_1e-10": (
+            eval_stats["rel_error_vs_direct"] <= 1e-10
+        ),
+    }
+    payload = {
+        "experiment": "ENGINE",
+        "testbed": f"fig2-peec (N={system.size}, p={system.num_ports})",
+        "quick": quick,
+        "thresholds": {
+            "per_point": PER_POINT_THRESHOLD, "cache": CACHE_THRESHOLD,
+        },
+        "eval": eval_stats,
+        "cache": cache_stats,
+        "checks": checks,
+        "pass": all(checks.values()),
+    }
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "ENGINE: compiled evaluation vs direct solves (Fig. 2 PEEC testbed)",
+        f"  system: N = {system.size}, p = {system.num_ports}, "
+        f"n = {eval_stats['order']}, m = {eval_stats['points']} points"
+        + (" [quick]" if quick else ""),
+        f"  direct:   {eval_stats['direct']['per_point_us']:8.2f} us/point",
+        f"  compiled: {eval_stats['compiled']['per_point_us']:8.2f} us/point "
+        f"(one-time compile {eval_stats['compiled']['compile_s'] * 1e3:.1f} ms)",
+        f"  per-point speedup: {eval_stats['speedup_per_point']:.1f}x "
+        f"(threshold {PER_POINT_THRESHOLD:.0f}x)",
+        f"  compiled-vs-direct rel error: "
+        f"{eval_stats['rel_error_vs_direct']:.2e}",
+        f"  cache: cold {cache_stats['cold_s'] * 1e3:.1f} ms, memory hit "
+        f"{cache_stats['warm_memory_s'] * 1e3:.3f} ms, disk hit "
+        f"{cache_stats['warm_disk_s'] * 1e3:.1f} ms",
+        f"  cache-hit end-to-end speedup: "
+        f"{cache_stats['speedup_end_to_end']:.0f}x "
+        f"(threshold {CACHE_THRESHOLD:.0f}x)",
+        f"  checks: {checks}",
+        f"  [json written to {json_path}]",
+    ]
+    save_report("ENGINE", "\n".join(lines))
+    return 0 if payload["pass"] else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller testbed (CI smoke job)")
+    parser.add_argument("--json", type=pathlib.Path, default=JSON_PATH,
+                        help=f"output JSON path (default {JSON_PATH})")
+    args = parser.parse_args(argv)
+    return run(args.quick, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,13 @@ from repro.simulation import (
     transient_ports,
     transient_reduced,
 )
+from repro.engine import (
+    CompiledModel,
+    Engine,
+    ReductionCache,
+    compile_model,
+    parallel_ac_sweep,
+)
 from repro.io import load_model, save_model
 from repro.robustness import (
     FaultPlan,
@@ -164,6 +171,12 @@ __all__ = [
     "merge_netlists",
     "save_model",
     "load_model",
+    # engine (serving layer)
+    "Engine",
+    "CompiledModel",
+    "compile_model",
+    "ReductionCache",
+    "parallel_ac_sweep",
     # robustness
     "robust_reduce",
     "RobustReduction",

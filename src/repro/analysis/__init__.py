@@ -1,6 +1,7 @@
 """Comparison metrics and experiment reporting."""
 
 from repro.analysis.compare import (
+    compare_sweeps,
     crossover_order,
     frequency_error,
     max_relative_error,
@@ -24,6 +25,7 @@ __all__ = [
     "frequency_error",
     "transient_error",
     "crossover_order",
+    "compare_sweeps",
     "Table",
     "ExperimentRecord",
     "ascii_plot",

@@ -12,6 +12,7 @@ __all__ = [
     "frequency_error",
     "transient_error",
     "crossover_order",
+    "compare_sweeps",
 ]
 
 
@@ -69,3 +70,40 @@ def crossover_order(orders: list[int], errors: list[float], target: float) -> in
         if error <= target:
             return order
     return None
+
+
+def compare_sweeps(
+    system,
+    models,
+    s_values: np.ndarray,
+    *,
+    engine=None,
+    workers: int | None = None,
+    labels: list[str] | None = None,
+) -> dict:
+    """Sweep the exact system and each reduced model on one grid.
+
+    The exact reference runs through the engine's parallel executor
+    (one worker-chunk per process when ``workers > 1``); every reduced
+    model is compiled once to pole-residue form and evaluated as a
+    batched broadcast sum.  Returns ``{"exact": FrequencyResponse,
+    "models": [{"label", "response", "max_rel", "rms_db"}, ...]}``.
+    """
+    from repro.engine import Engine
+
+    eng = engine or Engine(workers=workers)
+    s_values = np.atleast_1d(np.asarray(s_values)).ravel()
+    exact = eng.sweep(system, s_values, workers=workers, label="exact")
+    entries = []
+    for k, model in enumerate(models):
+        label = (
+            labels[k] if labels is not None
+            else f"reduced n={getattr(model, 'order', '?')}"
+        )
+        response = eng.sweep(model, s_values, label=label)
+        entries.append({
+            "label": label,
+            "response": response,
+            **frequency_error(response, exact),
+        })
+    return {"exact": exact, "models": entries, "engine": eng}

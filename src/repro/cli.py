@@ -8,7 +8,22 @@
     python -m repro reduce input.sp --order 20 --robust \
         --max-retries 5 --fallback arnoldi --diagnostics diag.json
 
+    python -m repro sweep input.sp --order 20 --band 1e7 1e10 \
+        --points 400 --workers 4 --cache-dir ~/.cache/repro-engine \
+        --exact --stats-json stats.json
+
+    python -m repro cache stats
+    python -m repro cache clear
+
     python -m repro info input.sp
+
+``sweep`` runs the compiled evaluation engine
+(:mod:`repro.engine`): the reduction is cached by content address
+(repeats are near-free with ``--cache-dir``), the model is compiled
+once to pole-residue form, and the band is evaluated as a batched
+broadcast sum; ``--exact`` adds the direct-solve reference sweep,
+fanned out over ``--workers`` processes.  ``cache`` inspects or clears
+the persistent reduction store.
 
 ``reduce`` parses the SPICE-subset netlist, assembles the symmetric
 MNA system, runs SyMPVL, reports band accuracy against the exact
@@ -101,6 +116,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the health/recovery report as JSON (also on failure)")
     # deterministic fault injection; for the robustness test harness
     reduce_cmd.add_argument("--inject-fault", help=argparse.SUPPRESS)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="reduce (cache-aware) and sweep a netlist with the "
+        "compiled evaluation engine",
+    )
+    sweep.add_argument("netlist", help="SPICE-subset netlist file")
+    sweep.add_argument("--order", type=int, required=True,
+                       help="reduced order n (>= port count)")
+    sweep.add_argument("--engine", choices=["sympvl", "sypvl", "arnoldi"],
+                       default="sympvl", help="reduction engine")
+    sweep.add_argument("--shift", default="auto",
+                       help="expansion point sigma0 (default: auto)")
+    sweep.add_argument("--band", nargs=2, type=float, required=True,
+                       metavar=("W_LO", "W_HI"),
+                       help="sweep band [w_lo, w_hi] rad/s (log-spaced)")
+    sweep.add_argument("--points", type=int, default=200,
+                       help="number of frequency points (default 200)")
+    sweep.add_argument("--exact", action="store_true",
+                       help="also run the exact reference sweep and "
+                       "report the error (parallel over --workers)")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process-pool width for exact sweeps "
+                       "(default: REPRO_WORKERS env, then serial)")
+    sweep.add_argument("--cache-dir", metavar="DIR",
+                       help="persistent reduction cache directory "
+                       "(default: in-memory only)")
+    sweep.add_argument("--stats-json", metavar="PATH",
+                       help="write engine session metrics as JSON")
+    sweep.add_argument("--out", metavar="PATH",
+                       help="write the swept |Z| magnitudes as CSV")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk reduction cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear"],
+                       help="print counters / entry counts, or delete "
+                       "every cached reduction")
+    cache.add_argument("--cache-dir", metavar="DIR",
+                       help="cache directory (default: REPRO_CACHE_DIR "
+                       "env, then ~/.cache/repro-engine)")
 
     generate = sub.add_parser(
         "generate", help="emit a synthetic benchmark circuit as a netlist"
@@ -282,6 +338,79 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine import Engine
+
+    with open(args.netlist) as handle:
+        net = parse_netlist(handle.read())
+    system = assemble_mna(net)
+    shift = "auto" if args.shift == "auto" else float(args.shift)
+    w_lo, w_hi = args.band
+    if not 0 < w_lo < w_hi:
+        raise ReproError("--band needs 0 < w_lo < w_hi")
+    s = 1j * np.logspace(np.log10(w_lo), np.log10(w_hi), args.points)
+
+    engine = Engine(cache_dir=args.cache_dir, workers=args.workers)
+    model = engine.reduce(
+        system, args.order, engine=args.engine, shift=shift
+    )
+    cache_stats = engine.cache.stats
+    source = "cache" if cache_stats.hits else "fresh reduction"
+    print(f"model: n = {model.order}, p = {model.num_ports} ({source})")
+
+    compiled = engine.compile(model)
+    print(f"compiled: mode = {compiled.mode}"
+          + ("" if compiled.is_spectral
+             else f" (fallback: {compiled.fallback_reason})"))
+    reduced = engine.sweep(model, s)
+    print(f"swept {args.points} points over [{w_lo:.3g}, {w_hi:.3g}] rad/s "
+          f"(max |Z| = {float(np.abs(reduced.z).max()):.4g})")
+
+    if args.exact:
+        exact = engine.sweep(system, s, workers=args.workers)
+        from repro.analysis import frequency_error
+
+        err = frequency_error(reduced, exact)
+        print(f"vs exact: max rel {err['max_rel']:.3e}, "
+              f"RMS {err['rms_db']:.3e} dB")
+
+    if args.out:
+        header = "omega," + ",".join(
+            f"|Z[{i},{j}]|"
+            for i in range(model.num_ports)
+            for j in range(model.num_ports)
+        )
+        mags = np.abs(reduced.z).reshape(args.points, -1)
+        data = np.column_stack([s.imag, mags])
+        np.savetxt(args.out, data, delimiter=",", header=header, comments="")
+        print(f"sweep written to {args.out}")
+
+    if args.stats_json:
+        with open(args.stats_json, "w") as handle:
+            json.dump(engine.stats(), handle, indent=2)
+            handle.write("\n")
+        print(f"engine stats written to {args.stats_json}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import ReductionCache, default_cache_dir
+
+    cache_dir = args.cache_dir or default_cache_dir()
+    cache = ReductionCache(cache_dir=cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached reduction(s) from {cache_dir}")
+        return 0
+    info = cache.describe()
+    table = Table(f"reduction cache {cache_dir}", ["quantity", "value"])
+    for key in ("disk_entries", "disk_bytes", "memory_entries",
+                "max_entries", "hits", "misses", "evictions"):
+        table.row(key, info[key])
+    table.print()
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.circuits import (
         coupled_rc_bus,
@@ -320,6 +449,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_info(args)
         if args.command == "reduce":
             return _cmd_reduce(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "generate":
             return _cmd_generate(args)
     except (ReproError, OSError) as exc:

@@ -106,6 +106,10 @@ class ReducedOrderModel:
             self._rho_t_delta = self.output.T
         else:
             self._rho_t_delta = self.rho.T @ self.delta
+        # lazily attached pole-residue form (repro.engine.compiled);
+        # False marks a model whose compilation fell back, so batch
+        # evaluation does not retry the eigendecomposition every call
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # sizes
@@ -127,27 +131,65 @@ class ReducedOrderModel:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
+    #: array sizes below this evaluate by direct solves; compiling
+    #: (one n x n eigendecomposition) only pays off for larger batches
+    _COMPILE_MIN_BATCH = 4
+
     def kernel(self, sigma: complex | np.ndarray) -> np.ndarray:
         """Evaluate ``H_n(sigma) = rho^T Delta (I + u T)^{-1} rho`` with
         ``u = sigma - sigma0``.
 
         Returns a ``p x p`` array for scalar input, ``(m, p, p)`` for an
-        array of ``m`` points.
+        array of ``m`` points.  Scalar input takes a single-solve fast
+        path; batches route through the lazily compiled pole-residue
+        form (:mod:`repro.engine.compiled`) -- one eigendecomposition on
+        first use, then zero linear solves per point -- falling back to
+        per-point solves for defective ``T``.
         """
-        sigma_arr = np.atleast_1d(np.asarray(sigma))
+        if np.isscalar(sigma) or np.asarray(sigma).ndim == 0:
+            u = complex(sigma) - self.sigma0
+            solved = np.linalg.solve(
+                np.eye(self.order) + u * self.t, self.rho.astype(complex)
+            )
+            out = self._rho_t_delta @ solved
+            if self.direct is not None:
+                out = out + self.direct
+            return out
+        sigma_arr = np.atleast_1d(np.asarray(sigma)).ravel()
+        if sigma_arr.size >= self._COMPILE_MIN_BATCH:
+            compiled = self._ensure_compiled()
+            if compiled is not None:
+                return compiled.kernel(sigma_arr)
+        return self._kernel_direct(sigma_arr)
+
+    def _kernel_direct(self, sigma_arr: np.ndarray) -> np.ndarray:
+        """Per-point dense-solve evaluation (the compiled form's
+        reference; also its fallback for defective ``T``)."""
+        sigma_arr = np.atleast_1d(np.asarray(sigma_arr)).ravel()
         n = self.order
         p = self.num_ports
         eye = np.eye(n)
         out = np.empty((sigma_arr.size, p, p), dtype=complex)
-        for k, sig in enumerate(sigma_arr.ravel()):
+        for k, sig in enumerate(sigma_arr):
             u = sig - self.sigma0
             solved = np.linalg.solve(eye + u * self.t, self.rho)
             out[k] = self._rho_t_delta @ solved
         if self.direct is not None:
             out = out + self.direct
-        if np.isscalar(sigma) or np.asarray(sigma).ndim == 0:
-            return out[0]
         return out
+
+    def _ensure_compiled(self):
+        """The attached spectral :class:`CompiledModel`, or ``None``
+        when compilation is unavailable or fell back to direct mode."""
+        if self._compiled is None:
+            try:
+                from repro.engine.compiled import CompiledModel
+            except ImportError:  # pragma: no cover - engine not shipped
+                self._compiled = False
+                return None
+            compiled = CompiledModel.from_rom(self)
+            self._compiled = compiled if compiled.is_spectral else False
+        return self._compiled or None
 
     def impedance(self, s: complex | np.ndarray) -> np.ndarray:
         """Physical impedance ``Z_n(s)`` including the transfer mapping.

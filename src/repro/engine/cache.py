@@ -1,0 +1,267 @@
+"""Content-addressed reduction cache.
+
+A reduction is a pure function of ``(MNA matrices, ports, engine,
+order, options)``, so its result can be keyed by a stable fingerprint
+of those inputs: the SHA-256 of the canonicalized CSR structure
+(``data`` / ``indices`` / ``indptr`` / shape) of ``G`` and ``C``, the
+dense ``B``, the transfer map, the port names, and a canonical JSON
+rendering of the reduction options -- prefixed with the package version
+so a version bump invalidates every stale entry.
+
+:class:`ReductionCache` layers an in-memory LRU over an optional
+on-disk store (``~/.cache/repro-engine`` by default, or any
+``cache_dir``).  Disk entries are the ``.npz`` archives of
+:func:`repro.io.save_model`, so they survive process restarts and are
+shared between CLI invocations; models without an ``.npz`` serialization
+(the Arnoldi congruence fallback) cache in memory only.  Hit / miss /
+eviction counters feed :meth:`repro.engine.session.Engine.stats` and
+the ``repro cache stats`` CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "ReductionCache",
+    "CacheStats",
+    "fingerprint_system",
+    "reduction_key",
+    "default_cache_dir",
+]
+
+#: bump to invalidate every cache entry written by older layouts
+_CACHE_LAYOUT_VERSION = 1
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-engine``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path("~/.cache/repro-engine").expanduser()
+
+
+def _package_version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+def _hash_sparse(h, matrix) -> None:
+    """Feed a canonicalized (sorted, deduplicated) CSR into the hash."""
+    csr = sp.csr_matrix(matrix)
+    csr.sum_duplicates()
+    csr.sort_indices()
+    h.update(np.asarray(csr.shape, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(csr.indptr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(csr.indices, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(csr.data, dtype=np.float64).tobytes())
+
+
+def _canonical_options(options: dict) -> str:
+    """Deterministic JSON rendering of the option dict.
+
+    Unserializable values (e.g. a LanczosOptions instance) degrade to
+    their ``repr`` -- stable within a process, and a conservative
+    cache key (distinct objects never collide into the same entry).
+    """
+    return json.dumps(
+        options, sort_keys=True, default=repr, separators=(",", ":")
+    )
+
+
+def fingerprint_system(system, *, version: str | None = None) -> str:
+    """Stable content hash of an assembled :class:`MNASystem`."""
+    h = hashlib.sha256()
+    h.update(f"layout={_CACHE_LAYOUT_VERSION}".encode())
+    h.update(f"version={version or _package_version()}".encode())
+    _hash_sparse(h, system.G)
+    _hash_sparse(h, system.C)
+    b = np.ascontiguousarray(np.asarray(system.B, dtype=np.float64))
+    h.update(np.asarray(b.shape, dtype=np.int64).tobytes())
+    h.update(b.tobytes())
+    h.update(repr(system.transfer).encode())
+    h.update(system.formulation.encode())
+    h.update("\x00".join(system.port_names).encode())
+    return h.hexdigest()
+
+
+def reduction_key(
+    system,
+    *,
+    engine: str,
+    order: int,
+    options: dict | None = None,
+    version: str | None = None,
+) -> str:
+    """Full content address of one reduction request."""
+    h = hashlib.sha256()
+    h.update(fingerprint_system(system, version=version).encode())
+    h.update(f"engine={engine}".encode())
+    h.update(f"order={int(order)}".encode())
+    h.update(_canonical_options(options or {}).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ReductionCache` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    puts: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "puts": self.puts,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ReductionCache:
+    """LRU of reduced models keyed by content address.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory LRU capacity (least-recently-used entry evicted; a
+        disk copy, when enabled, survives the eviction).
+    cache_dir:
+        Directory for the persistent layer; ``None`` disables it.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 64,
+        cache_dir: str | pathlib.Path | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self.cache_dir = (
+            pathlib.Path(cache_dir) if cache_dir is not None else None
+        )
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries or self._disk_path(key) is not None
+
+    def _disk_path(self, key: str) -> pathlib.Path | None:
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{key}.npz"
+        return path if path.is_file() else None
+
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """The cached model for ``key``, or ``None`` (counts a miss)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        path = self._disk_path(key)
+        if path is not None:
+            from repro.io import load_model
+
+            try:
+                model = load_model(path)
+            except Exception:
+                # stale / corrupt / truncated archive (np.load raises a
+                # zoo of types): drop it and treat as a miss
+                path.unlink(missing_ok=True)
+            else:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._store_memory(key, model)
+                return model
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, model) -> None:
+        """Insert ``model`` under ``key`` (memory, plus disk if able)."""
+        self.stats.puts += 1
+        self._store_memory(key, model)
+        if self.cache_dir is None:
+            return
+        from repro.io import save_model
+
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            target = self.cache_dir / f"{key}.npz"
+            tmp = self.cache_dir / f".{key}.tmp.npz"
+            save_model(model, tmp)
+            tmp.replace(target)
+            self.stats.disk_writes += 1
+        except (TypeError, AttributeError, OSError):
+            # models without .npz serialization (congruence fallback)
+            # or an unwritable cache dir: memory-only, not an error
+            pass
+
+    def _store_memory(self, key: str, model) -> None:
+        self._entries[key] = model
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def clear(self, *, disk: bool = True) -> int:
+        """Drop every entry; returns the number of disk files removed."""
+        self._entries.clear()
+        removed = 0
+        if disk and self.cache_dir is not None and self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.npz"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def disk_entries(self) -> list[pathlib.Path]:
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return []
+        return sorted(self.cache_dir.glob("*.npz"))
+
+    def describe(self) -> dict:
+        """JSON-ready snapshot for ``repro cache stats``."""
+        disk = self.disk_entries()
+        return {
+            "memory_entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            "disk_entries": len(disk),
+            "disk_bytes": sum(p.stat().st_size for p in disk),
+            **self.stats.to_dict(),
+        }

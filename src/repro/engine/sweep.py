@@ -1,0 +1,175 @@
+"""Batched and parallel frequency sweeps.
+
+Two execution strategies, matched to the two model classes:
+
+* **Compiled models** evaluate as NumPy broadcast sums; the only thing
+  to manage is peak memory, so :func:`batched_eval` chunks huge
+  frequency grids into fixed-size batches.
+* **Exact reference sweeps** (one sparse LU per point) are
+  embarrassingly parallel across the grid; :func:`parallel_ac_kernel`
+  re-splits the sigma grid over a ``concurrent.futures`` process pool
+  (each worker reuses the precomputed CSC pair of
+  :func:`repro.simulation.ac.ac_kernel` across its whole chunk) and
+  falls back to the serial path for small grids, ``workers <= 1``, or
+  any pool failure -- results are bitwise independent of the worker
+  count.
+
+The worker count resolves as ``workers`` argument > ``REPRO_WORKERS``
+environment variable > 1 (serial).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+from repro.errors import NumericalWarning, SimulationError
+from repro.simulation.ac import ac_kernel
+from repro.simulation.results import FrequencyResponse
+
+__all__ = [
+    "batched_eval",
+    "compiled_sweep",
+    "parallel_ac_kernel",
+    "parallel_ac_sweep",
+    "resolve_workers",
+]
+
+#: default frequency-batch size for compiled evaluation (bounds the
+#: (chunk, n, p*p) broadcast intermediates)
+DEFAULT_CHUNK = 4096
+
+#: below this many points per worker, process spawn cost dominates and
+#: the sweep runs serially
+MIN_POINTS_PER_WORKER = 16
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """``workers`` arg > ``REPRO_WORKERS`` env > 1 (serial)."""
+    if workers is not None:
+        return max(1, int(workers))
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer REPRO_WORKERS={env!r}",
+                NumericalWarning,
+                stacklevel=2,
+            )
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# compiled (batched) path
+# ---------------------------------------------------------------------------
+def batched_eval(
+    evaluate, values: np.ndarray, *, chunk: int = DEFAULT_CHUNK
+) -> np.ndarray:
+    """Apply ``evaluate`` over ``values`` in fixed-size batches."""
+    values = np.atleast_1d(np.asarray(values)).ravel()
+    if values.size <= chunk:
+        return np.asarray(evaluate(values))
+    parts = [
+        np.asarray(evaluate(values[lo:lo + chunk]))
+        for lo in range(0, values.size, chunk)
+    ]
+    return np.concatenate(parts, axis=0)
+
+
+def compiled_sweep(
+    compiled,
+    s_values: np.ndarray,
+    *,
+    chunk: int = DEFAULT_CHUNK,
+    label: str = "",
+) -> FrequencyResponse:
+    """Sweep a :class:`~repro.engine.compiled.CompiledModel` over
+    ``s_values`` in batches; drop-in comparable with ``ac_sweep``."""
+    s_values = np.atleast_1d(np.asarray(s_values)).ravel()
+    z = batched_eval(compiled.impedance, s_values, chunk=chunk)
+    return FrequencyResponse(
+        s=s_values,
+        z=z,
+        port_names=list(compiled.port_names),
+        label=label or f"compiled n={compiled.order}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# exact (process-pool) path
+# ---------------------------------------------------------------------------
+def _ac_chunk(payload):
+    """Worker body: serial exact kernel over one sigma chunk.
+
+    Module-level so it pickles under both fork and spawn start methods.
+    """
+    system, sigma_chunk = payload
+    return ac_kernel(system, sigma_chunk)
+
+
+def parallel_ac_kernel(
+    system,
+    sigma_values: np.ndarray,
+    *,
+    workers: int | None = None,
+    min_points_per_worker: int = MIN_POINTS_PER_WORKER,
+) -> np.ndarray:
+    """Exact kernel sweep fanned out over a process pool.
+
+    The sigma grid is re-split into one contiguous chunk per worker;
+    each worker precomputes the aligned CSC pair once and factors one
+    sparse LU per point of its chunk.  Small grids, ``workers <= 1``,
+    and pool bring-up failures (sandboxes without fork/spawn) all take
+    the serial path, so results never depend on the environment.
+    """
+    sigma_values = np.atleast_1d(np.asarray(sigma_values)).ravel()
+    n_workers = resolve_workers(workers)
+    n_workers = min(n_workers, max(1, sigma_values.size // min_points_per_worker))
+    if n_workers <= 1:
+        return ac_kernel(system, sigma_values)
+
+    chunks = np.array_split(sigma_values, n_workers)
+    try:
+        import concurrent.futures as futures
+
+        with futures.ProcessPoolExecutor(max_workers=n_workers) as pool:
+            parts = list(
+                pool.map(_ac_chunk, [(system, chunk) for chunk in chunks])
+            )
+    except SimulationError:
+        raise  # a singular point is a real error, not a pool failure
+    except Exception as exc:  # pool bring-up / pickling / sandbox limits
+        warnings.warn(
+            f"process-pool sweep unavailable ({type(exc).__name__}: {exc}); "
+            "falling back to serial evaluation",
+            NumericalWarning,
+            stacklevel=2,
+        )
+        return ac_kernel(system, sigma_values)
+    return np.concatenate(parts, axis=0)
+
+
+def parallel_ac_sweep(
+    system,
+    s_values: np.ndarray,
+    *,
+    workers: int | None = None,
+    label: str = "exact",
+) -> FrequencyResponse:
+    """Exact physical impedance sweep with optional process-pool fan-out
+    (the parallel counterpart of :func:`repro.simulation.ac.ac_sweep`)."""
+    s_values = np.atleast_1d(np.asarray(s_values)).ravel()
+    kernel = parallel_ac_kernel(
+        system, system.transfer.sigma(s_values), workers=workers
+    )
+    pref = np.atleast_1d(np.asarray(system.transfer.prefactor(s_values)))
+    if pref.size == 1:
+        pref = np.full(s_values.size, pref.ravel()[0])
+    z = kernel * pref[:, None, None]
+    return FrequencyResponse(
+        s=s_values, z=z, port_names=list(system.port_names), label=label
+    )

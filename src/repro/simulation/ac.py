@@ -4,6 +4,13 @@ Provides the "exact analysis" reference curves of the paper's Figures
 2-4: one sparse LU per frequency point of ``G + sigma C``, evaluated
 through the same :class:`TransferMap` convention as the reduced models
 so exact and reduced responses are directly comparable.
+
+The sweep loop converts ``G`` and ``C`` to CSC **once** and aligns them
+on their union sparsity pattern, so each frequency point assembles
+``G + sigma C`` by pure data arithmetic (no per-point ``tocsc()`` /
+structure rebuild).  Passing ``workers > 1`` (or setting
+``REPRO_WORKERS``) fans the grid out over the process pool of
+:mod:`repro.engine.sweep`.
 """
 
 from __future__ import annotations
@@ -19,20 +26,84 @@ from repro.simulation.results import FrequencyResponse
 __all__ = ["ac_kernel", "ac_sweep", "model_sweep"]
 
 
-def ac_kernel(system: MNASystem, sigma_values: np.ndarray) -> np.ndarray:
+def _aligned_csc_pair(system: MNASystem):
+    """``(G, C)`` as CSC matrices sharing one union sparsity pattern.
+
+    The union structure is built from all-ones masks (their sum is
+    never zero, so SciPy cannot prune entries), and each matrix's data
+    is scattered onto it via a sorted linear-coordinate search.
+    Identical ``indices`` / ``indptr`` let the sweep loop form
+    ``G + sigma C`` by pure data arithmetic.  Returns ``aligned=False``
+    (with plain CSC conversions) if the construction ever fails, and
+    the loop falls back to sparse addition.
+    """
+    g = sp.csc_matrix(system.G, dtype=complex)
+    c = sp.csc_matrix(system.C, dtype=complex)
+    for mat in (g, c):
+        mat.sum_duplicates()
+        mat.sort_indices()
+    try:
+        mask_g, mask_c = g.copy(), c.copy()
+        mask_g.data = np.ones(g.nnz)
+        mask_c.data = np.ones(c.nnz)
+        union = (mask_g + mask_c).tocsc()
+        union.sort_indices()
+        n_rows, n_cols = union.shape
+        spans = np.diff(union.indptr)
+        lin_union = (
+            np.repeat(np.arange(n_cols, dtype=np.int64), spans) * n_rows
+            + union.indices
+        )
+
+        def expand(mat):
+            data = np.zeros(union.nnz, dtype=complex)
+            lin = (
+                np.repeat(
+                    np.arange(n_cols, dtype=np.int64), np.diff(mat.indptr)
+                ) * n_rows
+                + mat.indices
+            )
+            data[np.searchsorted(lin_union, lin)] = mat.data
+            return sp.csc_matrix(
+                (data, union.indices.copy(), union.indptr.copy()),
+                shape=union.shape,
+            )
+
+        return expand(g), expand(c), True
+    except Exception:
+        return g, c, False
+
+
+def ac_kernel(
+    system: MNASystem,
+    sigma_values: np.ndarray,
+    *,
+    workers: int | None = None,
+) -> np.ndarray:
     """Exact kernel ``H(sigma) = B^T (G + sigma C)^{-1} B`` per point.
 
     Returns shape ``(m, p, p)``; raises on a singular system matrix
-    (a frequency landing exactly on a pole).
+    (a frequency landing exactly on a pole).  ``workers > 1`` re-splits
+    the grid over a process pool (results are independent of the worker
+    count; small grids stay serial).
     """
     sigma_values = np.atleast_1d(np.asarray(sigma_values))
-    g = sp.csc_matrix(system.G, dtype=complex)
-    c = sp.csc_matrix(system.C, dtype=complex)
+    if workers is not None and workers > 1:
+        from repro.engine.sweep import parallel_ac_kernel
+
+        return parallel_ac_kernel(system, sigma_values, workers=workers)
+    g, c, aligned = _aligned_csc_pair(system)
     b = system.B.astype(complex)
     p = b.shape[1]
     out = np.empty((sigma_values.size, p, p), dtype=complex)
     for k, sigma in enumerate(sigma_values.ravel()):
-        matrix = (g + sigma * c).tocsc()
+        if aligned:
+            matrix = sp.csc_matrix(
+                (g.data + sigma * c.data, g.indices, g.indptr),
+                shape=g.shape,
+            )
+        else:  # pragma: no cover - defensive structure-mismatch path
+            matrix = (g + sigma * c).tocsc()
         try:
             # loose rtol: evaluation near (not at) lightly-damped poles
             # is legitimate; only exact singularity is an error
@@ -50,6 +121,7 @@ def ac_sweep(
     s_values: np.ndarray,
     *,
     label: str = "exact",
+    workers: int | None = None,
 ) -> FrequencyResponse:
     """Exact physical impedance ``Z(s)`` over ``s_values``.
 
@@ -58,7 +130,9 @@ def ac_sweep(
     :meth:`repro.core.ReducedOrderModel.impedance`.
     """
     s_values = np.atleast_1d(np.asarray(s_values))
-    kernel = ac_kernel(system, system.transfer.sigma(s_values))
+    kernel = ac_kernel(
+        system, system.transfer.sigma(s_values), workers=workers
+    )
     pref = np.atleast_1d(np.asarray(system.transfer.prefactor(s_values)))
     if pref.size == 1:
         pref = np.full(s_values.size, pref.ravel()[0])
@@ -69,7 +143,12 @@ def ac_sweep(
 
 
 def model_sweep(model, s_values: np.ndarray, *, label: str = "") -> FrequencyResponse:
-    """Wrap any reduced model's ``impedance`` into a FrequencyResponse."""
+    """Wrap any reduced model's ``impedance`` into a FrequencyResponse.
+
+    Batched input reaches :meth:`ReducedOrderModel.impedance` as one
+    array, so models with an attached compiled form evaluate the whole
+    grid as a broadcast sum.
+    """
     s_values = np.atleast_1d(np.asarray(s_values))
     z = model.impedance(s_values)
     return FrequencyResponse(

@@ -1,0 +1,61 @@
+"""Shared fixtures for the engine (serving-layer) tests.
+
+Scaled-down versions of the paper's three evaluation testbeds (PEEC
+LC discretization, RF-IC package, extracted interconnect bus) -- the
+same element inventory, coupling structure, and MNA formulations as
+the full benchmarks, small enough for the unit suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits.mna import MNASystem
+
+
+def one_port(system: MNASystem) -> MNASystem:
+    """Restrict a multi-port system to its first port (for SyPVL)."""
+    return MNASystem(
+        G=system.G,
+        C=system.C,
+        B=system.B[:, :1].copy(),
+        node_index=system.node_index,
+        port_names=system.port_names[:1],
+        formulation=system.formulation,
+        kind=system.kind,
+        transfer=system.transfer,
+        state_labels=list(system.state_labels),
+        passive_values=system.passive_values,
+    )
+
+
+TESTBEDS = {
+    # name: (builder, order, physical s band)
+    "peec": (
+        lambda: repro.assemble_mna(repro.peec_like_lc(14)),
+        10,
+        1j * np.linspace(1.5e9, 4.0e10, 21),
+    ),
+    "package": (
+        lambda: repro.assemble_mna(
+            repro.package_model(n_pins=4, n_signal=2, n_sections=4)
+        ),
+        14,
+        1j * 2 * np.pi * np.logspace(np.log10(5e7), np.log10(5e9), 21),
+    ),
+    "interconnect": (
+        lambda: repro.assemble_mna(
+            repro.coupled_rc_bus(3, n_segments=10, driver_resistance=100.0)
+        ),
+        12,
+        1j * np.logspace(6, 10, 21),
+    ),
+}
+
+
+@pytest.fixture(params=sorted(TESTBEDS), ids=sorted(TESTBEDS))
+def testbed(request):
+    build, order, band = TESTBEDS[request.param]
+    return request.param, build(), order, band

@@ -1,0 +1,201 @@
+"""Compiled pole-residue evaluation: accuracy, transfer maps, fallback.
+
+The headline property: ``CompiledModel`` evaluation matches per-point
+direct solves to <= 1e-10 relative error across every reduction engine
+(SyMPVL, SyPVL, Arnoldi congruence) and every paper testbed (PEEC,
+package, interconnect) -- including the LC ``s**2`` transfer map -- and
+defective ``T`` matrices fall back to direct solves with a
+``HealthMonitor`` event rather than silent inaccuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits.mna import TransferMap
+from repro.core.model import ReducedOrderModel
+from repro.core.sympvl import default_shift
+from repro.engine import CompiledModel, compile_model
+from repro.errors import ReductionError
+from repro.robustness import HealthMonitor
+
+from .conftest import one_port
+
+ACCURACY = 1e-10
+
+
+def _direct_kernel(model, sigma):
+    """Reference per-point solve evaluation for either model family."""
+    if isinstance(model, ReducedOrderModel):
+        return model._kernel_direct(np.atleast_1d(sigma))
+    return model.kernel(np.atleast_1d(sigma))  # congruence models loop
+
+
+def _direct_impedance(model, s):
+    s = np.atleast_1d(s)
+    kernel = _direct_kernel(model, model.transfer.sigma(s))
+    pref = np.atleast_1d(np.asarray(model.transfer.prefactor(s)))
+    if pref.size == 1:
+        pref = np.full(s.size, pref.ravel()[0])
+    return kernel * pref[:, None, None]
+
+
+def _reduce(engine, system, order):
+    if engine == "sympvl":
+        return repro.sympvl(system, order=order)
+    if engine == "sypvl":
+        return repro.sypvl(one_port(system), order=order)
+    # Arnoldi needs an explicit shift when G is singular (LC, package)
+    try:
+        return repro.prima(system, order)
+    except ReductionError:
+        return repro.prima(system, order, sigma0=default_shift(system))
+
+
+@pytest.mark.parametrize("engine", ["sympvl", "sypvl", "arnoldi"])
+class TestCompiledMatchesDirect:
+    def test_kernel_accuracy(self, testbed, engine):
+        _, system, order, band = testbed
+        model = _reduce(engine, system, order)
+        compiled = CompiledModel.compile(model)
+        sigma = np.atleast_1d(system.transfer.sigma(band))
+        exact = _direct_kernel(model, sigma)
+        approx = compiled.kernel(sigma)
+        scale = np.abs(exact).max()
+        assert np.abs(approx - exact).max() <= ACCURACY * scale
+
+    def test_impedance_with_transfer_map(self, testbed, engine):
+        """Physical Z(s), including the LC sigma = s**2 substitution
+        and s prefactor, is drop-in comparable with ac_sweep."""
+        name, system, order, band = testbed
+        model = _reduce(engine, system, order)
+        compiled = CompiledModel.compile(model)
+        exact = _direct_impedance(model, band)
+        approx = compiled.impedance(band)
+        scale = np.abs(exact).max()
+        assert np.abs(approx - exact).max() <= ACCURACY * scale
+        if name == "peec":  # the s**2 map must actually be in play
+            assert compiled.transfer.sigma_power == 2
+
+    def test_spectral_mode_on_paper_testbeds(self, testbed, engine):
+        """The paper testbeds are diagonalizable: no silent fallback."""
+        _, system, order, _ = testbed
+        compiled = CompiledModel.compile(_reduce(engine, system, order))
+        assert compiled.is_spectral
+
+
+class TestShapesAndConventions:
+    def test_scalar_and_batch_shapes(self, rc_two_port_system):
+        model = repro.sympvl(rc_two_port_system, order=8)
+        compiled = CompiledModel.compile(model)
+        p = model.num_ports
+        assert compiled.kernel(1j * 1e8).shape == (p, p)
+        assert compiled.kernel(1j * np.ones(5) * 1e8).shape == (5, p, p)
+        assert compiled.impedance(1j * 1e8).shape == (p, p)
+
+    def test_direct_term_included(self, rc_two_port_system):
+        model = repro.sympvl(rc_two_port_system, order=8)
+        bumped = ReducedOrderModel(
+            t=model.t, delta=model.delta, rho=model.rho,
+            sigma0=model.sigma0, transfer=model.transfer,
+            port_names=model.port_names, source_size=model.source_size,
+            direct=np.eye(model.num_ports) * 3.5,
+        )
+        compiled = CompiledModel.compile(bumped)
+        sigma = 1j * np.array([1e8, 1e9])
+        assert np.allclose(
+            compiled.kernel(sigma), bumped._kernel_direct(sigma)
+        )
+
+    def test_kernel_poles_match_model(self, rc_two_port_system):
+        model = repro.sympvl(rc_two_port_system, order=8)
+        compiled = CompiledModel.compile(model)
+        got = np.sort_complex(np.asarray(compiled.kernel_poles()))
+        want = np.sort_complex(np.asarray(model.kernel_poles()))
+        assert np.allclose(got, want, rtol=1e-8)
+
+    def test_compile_model_alias_and_unknown_type(self, rc_two_port_system):
+        model = repro.sympvl(rc_two_port_system, order=8)
+        assert compile_model(model).is_spectral
+        with pytest.raises(ReductionError, match="cannot compile"):
+            CompiledModel.compile(object())
+
+
+def _defective_rom() -> ReducedOrderModel:
+    """A Jordan block: T is defective, no eigenvector basis exists."""
+    t = np.array([[1.0, 1.0], [0.0, 1.0]])
+    return ReducedOrderModel(
+        t=t, delta=np.eye(2), rho=np.array([[1.0], [0.5]]),
+        sigma0=0.0, transfer=TransferMap(), port_names=["p0"],
+        source_size=2,
+    )
+
+
+class TestDefectiveFallback:
+    def test_falls_back_to_direct_mode(self):
+        compiled = CompiledModel.compile(_defective_rom())
+        assert compiled.mode == "direct"
+        assert not compiled.is_spectral
+        assert compiled.fallback_reason is not None
+
+    def test_health_monitor_event_recorded(self):
+        monitor = HealthMonitor()
+        CompiledModel.compile(_defective_rom(), monitor=monitor)
+        events = monitor.by_category("engine.compile")
+        assert len(events) == 1
+        assert events[0].data["fallback"] is True
+        assert events[0].data["mode"] == "direct"
+
+    def test_direct_mode_is_exact(self):
+        rom = _defective_rom()
+        compiled = CompiledModel.compile(rom)
+        sigma = np.array([0.1j, 0.5j, 2.0j])
+        assert np.allclose(
+            compiled.kernel(sigma), rom._kernel_direct(sigma)
+        )
+
+    def test_spectral_event_when_healthy(self, rc_two_port_system):
+        monitor = HealthMonitor()
+        model = repro.sympvl(rc_two_port_system, order=8)
+        CompiledModel.compile(model, monitor=monitor)
+        events = monitor.by_category("engine.compile")
+        assert events and events[-1].data["mode"] == "spectral"
+        assert events[-1].data["probe_error"] <= 1e-11
+
+
+class TestModelBatchRouting:
+    """ReducedOrderModel.kernel routes arrays through the compiled path."""
+
+    def test_array_matches_scalar_loop(self, rc_two_port_system):
+        model = repro.sympvl(rc_two_port_system, order=8)
+        sigma = 1j * np.logspace(6, 10, 12)
+        batch = model.kernel(sigma)
+        singles = np.stack([model.kernel(sig) for sig in sigma])
+        scale = np.abs(singles).max()
+        assert np.abs(batch - singles).max() <= ACCURACY * scale
+        # the compiled form is attached exactly once
+        assert model._compiled is not None
+        assert model._compiled.is_spectral
+
+    def test_small_batches_skip_compilation(self, rc_two_port_system):
+        model = repro.sympvl(rc_two_port_system, order=8)
+        model.kernel(1j * np.array([1e8, 1e9]))  # below threshold
+        assert model._compiled is None
+
+    def test_defective_model_still_evaluates(self):
+        rom = _defective_rom()
+        sigma = 1j * np.logspace(-1, 1, 8)
+        batch = rom.kernel(sigma)
+        singles = np.stack([rom.kernel(sig) for sig in sigma])
+        assert np.allclose(batch, singles)
+        assert rom._compiled is False  # fallback memoized, not retried
+
+    def test_impedance_array_path(self, lc_system):
+        model = repro.sympvl(lc_system, order=10)
+        s = 1j * np.linspace(1e9, 5e9, 16)
+        batch = model.impedance(s)
+        singles = np.stack([model.impedance(sk) for sk in s])
+        scale = np.abs(singles).max()
+        assert np.abs(batch - singles).max() <= ACCURACY * scale

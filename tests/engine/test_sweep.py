@@ -1,0 +1,144 @@
+"""Batched / parallel sweep executors and the ac_kernel fast path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import CompiledModel
+from repro.engine.sweep import (
+    batched_eval,
+    compiled_sweep,
+    parallel_ac_kernel,
+    parallel_ac_sweep,
+    resolve_workers,
+)
+from repro.simulation.ac import _aligned_csc_pair, ac_kernel, ac_sweep
+
+from ..conftest import dense_impedance, rel_err
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_garbage_env_warns_and_serializes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.warns(repro.errors.NumericalWarning):
+            assert resolve_workers(None) == 1
+
+    def test_floor_at_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+
+class TestAlignedCscPair:
+    def test_union_pattern_shared(self, rc_two_port_system):
+        g, c, aligned = _aligned_csc_pair(rc_two_port_system)
+        assert aligned
+        assert np.array_equal(g.indptr, c.indptr)
+        assert np.array_equal(g.indices, c.indices)
+
+    def test_reconstructs_both_matrices(self, rlc_system):
+        g, c, aligned = _aligned_csc_pair(rlc_system)
+        assert aligned
+        assert np.allclose(g.toarray(), rlc_system.G.toarray())
+        assert np.allclose(c.toarray(), rlc_system.C.toarray())
+
+
+class TestAcKernelFastPath:
+    """The per-point tocsc() rebuild is gone; results are unchanged."""
+
+    def test_matches_dense_oracle(self, rc_two_port_system):
+        s = 1j * np.logspace(7, 10, 13)
+        resp = ac_sweep(rc_two_port_system, s)
+        assert rel_err(resp.z, dense_impedance(rc_two_port_system, s)) < 1e-10
+
+    def test_mna_formulation(self, rlc_system):
+        s = 1j * np.logspace(8, 10, 9)
+        resp = ac_sweep(rlc_system, s)
+        assert rel_err(resp.z, dense_impedance(rlc_system, s)) < 1e-9
+
+    def test_singular_point_message_intact(self, lc_system):
+        with pytest.raises(
+            repro.errors.SimulationError, match="singular at sigma"
+        ):
+            ac_kernel(lc_system, np.array([0.0]))
+
+    def test_workers_kwarg_matches_serial(self, rc_two_port_system):
+        sigma = 1j * np.logspace(7, 10, 40)
+        serial = ac_kernel(rc_two_port_system, sigma)
+        fanned = ac_kernel(rc_two_port_system, sigma, workers=2)
+        assert np.allclose(fanned, serial, rtol=1e-12, atol=0.0)
+
+
+class TestBatchedEval:
+    def test_chunking_matches_single_batch(self, rc_two_port_system):
+        model = repro.sympvl(rc_two_port_system, order=8)
+        compiled = CompiledModel.compile(model)
+        sigma = 1j * np.logspace(6, 10, 33)
+        whole = compiled.kernel(sigma)
+        chunked = batched_eval(compiled.kernel, sigma, chunk=7)
+        assert np.allclose(chunked, whole, rtol=0, atol=0)
+
+    def test_compiled_sweep_matches_model_sweep(self, rc_two_port_system):
+        model = repro.sympvl(rc_two_port_system, order=8)
+        compiled = CompiledModel.compile(model)
+        s = 1j * np.logspace(7, 10, 21)
+        resp = compiled_sweep(compiled, s, chunk=5)
+        direct = repro.model_sweep(model, s)
+        assert np.allclose(resp.z, direct.z, rtol=1e-10)
+        assert resp.port_names == direct.port_names
+
+    def test_label_defaults(self, rc_two_port_system):
+        model = repro.sympvl(rc_two_port_system, order=8)
+        compiled = CompiledModel.compile(model)
+        resp = compiled_sweep(compiled, 1j * np.logspace(7, 9, 4))
+        assert "compiled" in resp.label
+
+
+class TestParallelExact:
+    def test_small_grid_stays_serial(self, rc_two_port_system):
+        """Below min_points_per_worker the pool is never spun up."""
+        sigma = 1j * np.logspace(7, 9, 6)
+        out = parallel_ac_kernel(rc_two_port_system, sigma, workers=4)
+        assert np.allclose(out, ac_kernel(rc_two_port_system, sigma))
+
+    def test_parallel_matches_serial(self, rc_two_port_system):
+        sigma = 1j * np.logspace(7, 10, 32)
+        serial = ac_kernel(rc_two_port_system, sigma)
+        fanned = parallel_ac_kernel(
+            rc_two_port_system, sigma, workers=2, min_points_per_worker=4
+        )
+        assert np.allclose(fanned, serial, rtol=1e-12, atol=0.0)
+
+    def test_parallel_sweep_response(self, lc_system):
+        s = 1j * np.linspace(1e9, 5e9, 24)
+        resp = parallel_ac_sweep(
+            lc_system, s, workers=2, label="exact-parallel"
+        )
+        reference = ac_sweep(lc_system, s)
+        assert np.allclose(resp.z, reference.z, rtol=1e-12, atol=0.0)
+        assert resp.label == "exact-parallel"
+
+    def test_worker_count_does_not_change_values(self, rc_two_port_system):
+        sigma = 1j * np.logspace(7, 10, 36)
+        results = [
+            parallel_ac_kernel(
+                rc_two_port_system, sigma,
+                workers=w, min_points_per_worker=4,
+            )
+            for w in (1, 2, 3)
+        ]
+        for out in results[1:]:
+            assert np.allclose(out, results[0], rtol=1e-12, atol=0.0)
