@@ -15,6 +15,8 @@
     python -m repro cache stats
     python -m repro cache clear
 
+    python -m repro serve --http-port 8080 --cache-dir ~/.cache/repro-engine
+
     python -m repro info input.sp
 
 ``sweep`` runs the compiled evaluation engine
@@ -24,6 +26,12 @@ once to pole-residue form, and the band is evaluated as a batched
 broadcast sum; ``--exact`` adds the direct-solve reference sweep,
 fanned out over ``--workers`` processes.  ``cache`` inspects or clears
 the persistent reduction store.
+
+``serve`` runs the long-lived macromodel service
+(:mod:`repro.service`): a stdio-JSONL request loop (plus an optional
+localhost HTTP/JSON front) with single-flight dedup, per-request
+deadlines, bounded retries, admission control, and a circuit-breaker
+guarded degradation ladder -- see ``docs/SERVICE.md``.
 
 ``reduce`` parses the SPICE-subset netlist, assembles the symmetric
 MNA system, runs SyMPVL, reports band accuracy against the exact
@@ -157,6 +165,36 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", metavar="DIR",
                        help="cache directory (default: REPRO_CACHE_DIR "
                        "env, then ~/.cache/repro-engine)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resilient macromodel service (stdio-JSONL, "
+        "optionally HTTP on localhost)",
+    )
+    serve.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                       help="also serve HTTP/JSON on 127.0.0.1:PORT "
+                       "(0 picks a free port; default: stdio only)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="persistent reduction cache directory")
+    serve.add_argument("--cache-max-bytes", type=int, default=None,
+                       metavar="N", help="disk cache size budget (bytes)")
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       metavar="SECONDS", help="disk cache entry TTL")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process-pool width for exact sweeps")
+    serve.add_argument("--max-pending", type=int, default=64, metavar="N",
+                       help="admission queue bound; beyond it requests "
+                       "are shed with 'overloaded' (default 64)")
+    serve.add_argument("--max-concurrency", type=int, default=4, metavar="N",
+                       help="simultaneously running requests (default 4)")
+    serve.add_argument("--deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="default per-request wall budget (default 30)")
+    serve.add_argument("--retries", type=int, default=3, metavar="N",
+                       help="total attempts for transient faults "
+                       "(default 3)")
+    # deterministic service fault injection; for the test harness
+    serve.add_argument("--inject-fault", help=argparse.SUPPRESS)
 
     generate = sub.add_parser(
         "generate", help="emit a synthetic benchmark circuit as a netlist"
@@ -411,6 +449,54 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import dataclasses
+
+    from repro.robustness.faultinject import ServiceFaultPlan
+    from repro.service import MacromodelService, ServiceConfig, serve_stdio
+    from repro.service.config import RetryConfig
+    from repro.service.http import serve_http
+
+    try:
+        config = ServiceConfig(
+            max_pending=args.max_pending,
+            max_concurrency=args.max_concurrency,
+            default_deadline=args.deadline,
+            cache_dir=args.cache_dir,
+            cache_max_bytes=args.cache_max_bytes,
+            cache_ttl=args.cache_ttl,
+            workers=args.workers,
+            retry=dataclasses.replace(RetryConfig(), attempts=args.retries),
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+    fault_plan = (
+        ServiceFaultPlan.parse(args.inject_fault)
+        if args.inject_fault else None
+    )
+    service = MacromodelService(config, fault_plan=fault_plan)
+
+    async def run():
+        http_server = None
+        if args.http_port is not None:
+            http_server = await serve_http(service, port=args.http_port)
+            host, port = http_server.sockets[0].getsockname()[:2]
+            print(f"http: listening on {host}:{port}", file=sys.stderr)
+        print("stdio: one JSON request per line; EOF or a 'shutdown' "
+              "request exits", file=sys.stderr)
+        try:
+            handled = await serve_stdio(service)
+        finally:
+            if http_server is not None:
+                http_server.close()
+                await http_server.wait_closed()
+        print(f"served {handled} request(s); shutting down", file=sys.stderr)
+
+    asyncio.run(run())
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.circuits import (
         coupled_rc_bus,
@@ -453,6 +539,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "generate":
             return _cmd_generate(args)
     except (ReproError, OSError) as exc:

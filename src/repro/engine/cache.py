@@ -16,6 +16,14 @@ shared between CLI invocations; models without an ``.npz`` serialization
 (the Arnoldi congruence fallback) cache in memory only.  Hit / miss /
 eviction counters feed :meth:`repro.engine.session.Engine.stats` and
 the ``repro cache stats`` CLI.
+
+The disk layer supports two eviction policies for long-lived servers
+(:mod:`repro.service`): a total-size budget (``max_disk_bytes``,
+oldest-accessed entries evicted first) and a TTL (``ttl_seconds``,
+entries idle longer than the TTL removed).  Both are enforced after
+every disk write and by :meth:`ReductionCache.evict_disk`.  All public
+methods are thread-safe: the service runtime calls ``get``/``put`` from
+worker threads.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ import hashlib
 import json
 import os
 import pathlib
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -121,6 +131,8 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     disk_writes: int = 0
+    disk_evictions_size: int = 0
+    disk_evictions_ttl: int = 0
     puts: int = 0
     extra: dict = field(default_factory=dict)
 
@@ -139,6 +151,8 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "disk_writes": self.disk_writes,
+            "disk_evictions_size": self.disk_evictions_size,
+            "disk_evictions_ttl": self.disk_evictions_ttl,
             "puts": self.puts,
             "hit_rate": round(self.hit_rate, 4),
         }
@@ -154,28 +168,50 @@ class ReductionCache:
         disk copy, when enabled, survives the eviction).
     cache_dir:
         Directory for the persistent layer; ``None`` disables it.
+    max_disk_bytes:
+        Total-size budget for the disk layer; when exceeded, the
+        least-recently-accessed ``.npz`` entries are removed until the
+        store fits.  ``None`` disables size eviction.
+    ttl_seconds:
+        Disk entries idle (not read or written) longer than this are
+        removed on the next eviction pass.  ``None`` disables TTL
+        eviction.
     """
 
     def __init__(
         self,
         max_entries: int = 64,
         cache_dir: str | pathlib.Path | None = None,
+        *,
+        max_disk_bytes: int | None = None,
+        ttl_seconds: float | None = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if max_disk_bytes is not None and max_disk_bytes < 0:
+            raise ValueError("max_disk_bytes must be >= 0")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be > 0")
         self.max_entries = int(max_entries)
         self.cache_dir = (
             pathlib.Path(cache_dir) if cache_dir is not None else None
         )
+        self.max_disk_bytes = max_disk_bytes
+        self.ttl_seconds = ttl_seconds
         self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries or self._disk_path(key) is not None
+        with self._lock:
+            if key in self._entries:
+                return True
+        return self._disk_path(key) is not None
 
     def _disk_path(self, key: str) -> pathlib.Path | None:
         if self.cache_dir is None:
@@ -186,10 +222,11 @@ class ReductionCache:
     # ------------------------------------------------------------------
     def get(self, key: str):
         """The cached model for ``key``, or ``None`` (counts a miss)."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return self._entries[key]
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
         path = self._disk_path(key)
         if path is not None:
             from repro.io import load_model
@@ -201,32 +238,50 @@ class ReductionCache:
                 # zoo of types): drop it and treat as a miss
                 path.unlink(missing_ok=True)
             else:
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
-                self._store_memory(key, model)
+                # refresh mtime so TTL / size eviction tracks *access*
+                # recency, not write time
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
+                with self._lock:
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    self._store_memory(key, model)
                 return model
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
         return None
 
     def put(self, key: str, model) -> None:
         """Insert ``model`` under ``key`` (memory, plus disk if able)."""
-        self.stats.puts += 1
-        self._store_memory(key, model)
+        with self._lock:
+            self.stats.puts += 1
+            self._store_memory(key, model)
         if self.cache_dir is None:
             return
         from repro.io import save_model
 
+        tmp = None
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             target = self.cache_dir / f"{key}.npz"
             tmp = self.cache_dir / f".{key}.tmp.npz"
             save_model(model, tmp)
             tmp.replace(target)
-            self.stats.disk_writes += 1
+            with self._lock:
+                self.stats.disk_writes += 1
         except (TypeError, AttributeError, OSError):
             # models without .npz serialization (congruence fallback)
-            # or an unwritable cache dir: memory-only, not an error
-            pass
+            # or an unwritable cache dir: memory-only, not an error --
+            # but never leave a half-written tmp archive behind
+            if tmp is not None:
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
+        else:
+            self.evict_disk()
 
     def _store_memory(self, key: str, model) -> None:
         self._entries[key] = model
@@ -236,32 +291,112 @@ class ReductionCache:
             self.stats.evictions += 1
 
     # ------------------------------------------------------------------
-    def clear(self, *, disk: bool = True) -> int:
-        """Drop every entry; returns the number of disk files removed."""
-        self._entries.clear()
+    # disk eviction (size budget + TTL)
+    # ------------------------------------------------------------------
+    def evict_disk(self, *, now: float | None = None) -> int:
+        """Enforce ``ttl_seconds`` and ``max_disk_bytes`` on the disk
+        layer; returns the number of entries removed.
+
+        Recency is the file mtime, which :meth:`get` refreshes on every
+        disk hit, so the policy is least-recently-*accessed*.  Stray
+        ``.tmp.npz`` files (from a crash between write and rename) are
+        always removed.
+        """
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return 0
         removed = 0
-        if disk and self.cache_dir is not None and self.cache_dir.is_dir():
-            for path in self.cache_dir.glob("*.npz"):
+        with self._lock:
+            for tmp in self.cache_dir.glob(".*.tmp.npz"):
                 try:
-                    path.unlink()
-                    removed += 1
+                    tmp.unlink()
                 except OSError:
                     pass
+            if self.ttl_seconds is None and self.max_disk_bytes is None:
+                return 0
+            now = time.time() if now is None else now
+            entries = []
+            for path in self.cache_dir.glob("*.npz"):
+                if path.name.endswith(".tmp.npz"):
+                    continue  # stray survived the sweep above; skip it
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+            entries.sort()  # oldest access first
+            if self.ttl_seconds is not None:
+                cutoff = now - self.ttl_seconds
+                keep = []
+                for mtime, size, path in entries:
+                    if mtime < cutoff:
+                        try:
+                            path.unlink()
+                            removed += 1
+                            self.stats.disk_evictions_ttl += 1
+                        except OSError:
+                            keep.append((mtime, size, path))
+                    else:
+                        keep.append((mtime, size, path))
+                entries = keep
+            if self.max_disk_bytes is not None:
+                total = sum(size for _, size, _ in entries)
+                for mtime, size, path in entries:
+                    if total <= self.max_disk_bytes:
+                        break
+                    try:
+                        path.unlink()
+                        removed += 1
+                        total -= size
+                        self.stats.disk_evictions_size += 1
+                    except OSError:
+                        pass
+        return removed
+
+    # ------------------------------------------------------------------
+    def clear(self, *, disk: bool = True) -> int:
+        """Drop every entry; returns the number of disk files removed.
+
+        Also removes orphaned ``.tmp.npz`` files left by a crash
+        mid-write (they do not count toward the return value).
+        """
+        with self._lock:
+            self._entries.clear()
+            removed = 0
+            if disk and self.cache_dir is not None and self.cache_dir.is_dir():
+                for path in self.cache_dir.glob("*.npz"):
+                    is_tmp = path.name.endswith(".tmp.npz")
+                    try:
+                        path.unlink()
+                        removed += 0 if is_tmp else 1
+                    except OSError:
+                        pass
         return removed
 
     def disk_entries(self) -> list[pathlib.Path]:
         if self.cache_dir is None or not self.cache_dir.is_dir():
             return []
-        return sorted(self.cache_dir.glob("*.npz"))
+        return sorted(
+            p for p in self.cache_dir.glob("*.npz")
+            if not p.name.endswith(".tmp.npz")
+        )
 
     def describe(self) -> dict:
         """JSON-ready snapshot for ``repro cache stats``."""
         disk = self.disk_entries()
-        return {
-            "memory_entries": len(self._entries),
-            "max_entries": self.max_entries,
-            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
-            "disk_entries": len(disk),
-            "disk_bytes": sum(p.stat().st_size for p in disk),
-            **self.stats.to_dict(),
-        }
+        disk_bytes = 0
+        for p in disk:
+            try:
+                disk_bytes += p.stat().st_size
+            except OSError:
+                pass
+        with self._lock:
+            return {
+                "memory_entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+                "disk_entries": len(disk),
+                "disk_bytes": disk_bytes,
+                "max_disk_bytes": self.max_disk_bytes,
+                "ttl_seconds": self.ttl_seconds,
+                **self.stats.to_dict(),
+            }

@@ -101,6 +101,8 @@ class Engine:
         cache: ReductionCache | None = None,
         cache_dir=None,
         cache_entries: int = 64,
+        cache_max_bytes: int | None = None,
+        cache_ttl: float | None = None,
         workers: int | None = None,
         monitor=None,
         version: str | None = None,
@@ -109,7 +111,8 @@ class Engine:
             raise ValueError("pass either cache or cache_dir, not both")
         # explicit None check: an *empty* ReductionCache is falsy (len 0)
         self.cache = cache if cache is not None else ReductionCache(
-            max_entries=cache_entries, cache_dir=cache_dir
+            max_entries=cache_entries, cache_dir=cache_dir,
+            max_disk_bytes=cache_max_bytes, ttl_seconds=cache_ttl,
         )
         self.workers = workers
         self.monitor = monitor
@@ -238,6 +241,7 @@ class Engine:
                 s_values,
                 workers=workers if workers is not None else self.workers,
                 label=label or "exact",
+                monitor=self.monitor,
             )
             self.stats_.exact_points += s_values.size
         else:

@@ -15,7 +15,9 @@ Two execution strategies, matched to the two model classes:
   count.
 
 The worker count resolves as ``workers`` argument > ``REPRO_WORKERS``
-environment variable > 1 (serial).
+environment variable > 1 (serial), clamped to ``os.cpu_count()``;
+non-integer and non-positive ``REPRO_WORKERS`` values are ignored with
+a one-shot :class:`~repro.errors.NumericalWarning`.
 """
 
 from __future__ import annotations
@@ -47,19 +49,36 @@ MIN_POINTS_PER_WORKER = 16
 
 
 def resolve_workers(workers: int | None = None) -> int:
-    """``workers`` arg > ``REPRO_WORKERS`` env > 1 (serial)."""
+    """``workers`` arg > ``REPRO_WORKERS`` env > 1 (serial).
+
+    The result is clamped to ``[1, os.cpu_count()]``: oversubscribing
+    the pool beyond the physical cores only adds spawn cost.  A
+    ``REPRO_WORKERS`` value that is non-integer *or* non-positive is
+    rejected with the same one-shot :class:`NumericalWarning` path and
+    the sweep stays serial.
+    """
+    limit = os.cpu_count() or 1
     if workers is not None:
-        return max(1, int(workers))
+        return max(1, min(int(workers), limit))
     env = os.environ.get("REPRO_WORKERS", "").strip()
     if env:
         try:
-            return max(1, int(env))
+            value = int(env)
         except ValueError:
             warnings.warn(
                 f"ignoring non-integer REPRO_WORKERS={env!r}",
                 NumericalWarning,
                 stacklevel=2,
             )
+        else:
+            if value <= 0:
+                warnings.warn(
+                    f"ignoring non-positive REPRO_WORKERS={env!r}",
+                    NumericalWarning,
+                    stacklevel=2,
+                )
+            else:
+                return max(1, min(value, limit))
     return 1
 
 
@@ -117,6 +136,7 @@ def parallel_ac_kernel(
     *,
     workers: int | None = None,
     min_points_per_worker: int = MIN_POINTS_PER_WORKER,
+    monitor=None,
 ) -> np.ndarray:
     """Exact kernel sweep fanned out over a process pool.
 
@@ -125,6 +145,13 @@ def parallel_ac_kernel(
     sparse LU per point of its chunk.  Small grids, ``workers <= 1``,
     and pool bring-up failures (sandboxes without fork/spawn) all take
     the serial path, so results never depend on the environment.
+
+    A serial fallback is recorded on ``monitor`` as an ``engine.sweep``
+    event (so :meth:`Engine.stats` reflects pool failures) in addition
+    to the :class:`NumericalWarning`.  Genuine worker errors --
+    :class:`SimulationError` (a singular point) and :class:`MemoryError`
+    (the grid does not fit) -- are re-raised instead of silently
+    retrying the whole grid serially.
     """
     sigma_values = np.atleast_1d(np.asarray(sigma_values)).ravel()
     n_workers = resolve_workers(workers)
@@ -142,7 +169,18 @@ def parallel_ac_kernel(
             )
     except SimulationError:
         raise  # a singular point is a real error, not a pool failure
+    except MemoryError:
+        raise  # a worker OOM would only repeat (worse) serially
     except Exception as exc:  # pool bring-up / pickling / sandbox limits
+        if monitor is not None:
+            monitor.record(
+                "engine.sweep",
+                stage="pool-fallback",
+                error_class=type(exc).__name__,
+                error=str(exc),
+                workers=n_workers,
+                points=int(sigma_values.size),
+            )
         warnings.warn(
             f"process-pool sweep unavailable ({type(exc).__name__}: {exc}); "
             "falling back to serial evaluation",
@@ -159,12 +197,14 @@ def parallel_ac_sweep(
     *,
     workers: int | None = None,
     label: str = "exact",
+    monitor=None,
 ) -> FrequencyResponse:
     """Exact physical impedance sweep with optional process-pool fan-out
     (the parallel counterpart of :func:`repro.simulation.ac.ac_sweep`)."""
     s_values = np.atleast_1d(np.asarray(s_values)).ravel()
     kernel = parallel_ac_kernel(
-        system, system.transfer.sigma(s_values), workers=workers
+        system, system.transfer.sigma(s_values), workers=workers,
+        monitor=monitor,
     )
     pref = np.atleast_1d(np.asarray(system.transfer.prefactor(s_values)))
     if pref.size == 1:

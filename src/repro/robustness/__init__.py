@@ -24,6 +24,9 @@ from repro.robustness.faultinject import (
     FaultInjectingOperator,
     FaultPlan,
     FaultSpec,
+    InjectedServiceFault,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
 )
 from repro.robustness.health import HealthEvent, HealthMonitor, ReductionHealth
 from repro.robustness.recovery import (
@@ -46,6 +49,9 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "FaultInjectingOperator",
+    "ServiceFaultSpec",
+    "ServiceFaultPlan",
+    "InjectedServiceFault",
     "RecoveryPolicy",
     "PerturbedRestartPolicy",
     "ShiftRegularizationPolicy",

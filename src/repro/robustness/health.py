@@ -13,7 +13,12 @@ optional everywhere; the hot paths pay nothing when it is ``None``):
 * ``passivity.*`` -- the section-5 certificate and its hypothesis flags;
 * ``recovery.*`` / ``fault.*`` -- recovery attempts and injected faults
   (written by :mod:`repro.robustness.recovery` and
-  :mod:`repro.robustness.faultinject`).
+  :mod:`repro.robustness.faultinject`);
+* ``engine.*`` -- cache activity, compile fallbacks, and process-pool
+  sweep fallbacks (written by :mod:`repro.engine`);
+* ``service.*`` -- degradation-tier switches, breaker transitions, and
+  shed/retry decisions of the serving runtime
+  (written by :mod:`repro.service`).
 
 The monitor is deliberately decoupled from the numerical modules: they
 duck-type against ``record(category, **data)`` only, so no import cycle
@@ -139,6 +144,8 @@ class ReductionHealth:
     passivity: dict | None = None
     faults_triggered: list[dict] = field(default_factory=list)
     recovery_failures: int = 0
+    sweep_fallbacks: int = 0
+    service_degradations: list[dict] = field(default_factory=list)
     events: list[HealthEvent] = field(default_factory=list)
 
     @classmethod
@@ -182,6 +189,10 @@ class ReductionHealth:
                 health.faults_triggered.append(dict(data))
             elif event.category == "recovery.failure":
                 health.recovery_failures += 1
+            elif event.category == "engine.sweep":
+                health.sweep_fallbacks += 1
+            elif event.category == "service.degrade":
+                health.service_degradations.append(dict(data))
 
         loss_bad = (
             health.orthogonality_loss is not None
@@ -212,6 +223,8 @@ class ReductionHealth:
             "passivity": _jsonify(self.passivity),
             "faults_triggered": _jsonify(self.faults_triggered),
             "recovery_failures": self.recovery_failures,
+            "sweep_fallbacks": self.sweep_fallbacks,
+            "service_degradations": _jsonify(self.service_degradations),
         }
         if include_events:
             out["events"] = [e.to_dict() for e in self.events]

@@ -1,0 +1,164 @@
+"""Minimal localhost HTTP/JSON front (stdlib only, asyncio streams).
+
+Not a general web server: it binds ``127.0.0.1`` only, speaks just
+enough HTTP/1.1 for curl and test clients, and maps routes straight
+onto :meth:`MacromodelService.handle`:
+
+====== ============ ==================================================
+GET    ``/healthz`` liveness / readiness / breaker state
+GET    ``/stats``   merged service + engine + cache metrics
+POST   ``/reduce``  body = the ``params`` object of a reduce request
+POST   ``/sweep``   body = the ``params`` object of a sweep request
+====== ============ ==================================================
+
+POST bodies may carry ``deadline_ms`` alongside the params.  Responses
+reuse the wire schema of :mod:`repro.service.protocol`; HTTP status is
+200 for ``ok`` responses and a mapped 4xx/5xx otherwise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+
+from repro.service.runtime import MacromodelService
+
+__all__ = ["HTTP_STATUS", "serve_http"]
+
+#: protocol error code -> HTTP status
+HTTP_STATUS = {
+    "bad_request": 400,
+    "overloaded": 503,
+    "deadline_exceeded": 504,
+    "reduction_failed": 422,
+    "simulation_failed": 422,
+    "shutting_down": 503,
+    "internal": 500,
+}
+
+_MAX_BODY = 8 * 1024 * 1024
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    422: "Unprocessable Entity", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+def _http_payload(status: int, body: dict) -> bytes:
+    data = json.dumps(body, separators=(",", ":")).encode()
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(data)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode()
+    return head + data
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one request; returns ``(method, path, body)`` or ``None``."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, path = parts[0].upper(), parts[1]
+    length = 0
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                length = 0
+    if length > _MAX_BODY:
+        raise ValueError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body
+
+
+def _route(method: str, path: str, body: bytes, request_id: str):
+    """Map an HTTP request to a protocol request dict (or an error)."""
+    path = path.split("?", 1)[0].rstrip("/") or "/"
+    if path == "/healthz" and method == "GET":
+        return {"id": request_id, "op": "healthz"}, None
+    if path == "/stats" and method == "GET":
+        return {"id": request_id, "op": "stats"}, None
+    if path in ("/reduce", "/sweep"):
+        if method != "POST":
+            return None, (405, {"error": "use POST"})
+        try:
+            params = json.loads(body.decode() or "{}")
+        except ValueError as exc:
+            return None, (400, {"error": f"invalid JSON body: {exc}"})
+        if not isinstance(params, dict):
+            return None, (400, {"error": "body must be a JSON object"})
+        deadline_ms = params.pop("deadline_ms", None)
+        request = {
+            "id": params.pop("id", request_id),
+            "op": path[1:],
+            "params": params,
+        }
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
+        return request, None
+    return None, (404, {"error": f"no route {method} {path}"})
+
+
+async def serve_http(
+    service: MacromodelService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Start the HTTP front; returns the listening server.
+
+    ``port=0`` picks a free port (read it from
+    ``server.sockets[0].getsockname()``); callers own the lifecycle
+    (``server.close()`` / ``await server.wait_closed()``).
+    """
+    counter = itertools.count(1)
+
+    async def on_connection(reader, writer):
+        try:
+            parsed = await _read_request(reader)
+            if parsed is None:
+                return
+            method, path, body = parsed
+            request, error = _route(
+                method, path, body, f"http-{next(counter)}"
+            )
+            if error is not None:
+                status, payload = error
+                writer.write(_http_payload(status, payload))
+            else:
+                response = await service.handle(request)
+                status = 200
+                if not response.get("ok"):
+                    status = HTTP_STATUS.get(
+                        response.get("error", {}).get("code"), 500
+                    )
+                writer.write(_http_payload(status, response))
+            await writer.drain()
+        except (ValueError, asyncio.IncompleteReadError) as exc:
+            try:
+                writer.write(_http_payload(400, {"error": str(exc)}))
+                await writer.drain()
+            except ConnectionError:
+                pass
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    return await asyncio.start_server(on_connection, host=host, port=port)

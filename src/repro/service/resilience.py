@@ -1,0 +1,284 @@
+"""Resilience primitives for the serving runtime.
+
+Small, dependency-free building blocks, each independently testable:
+
+* :class:`Deadline` -- a monotonic per-request wall budget; stages check
+  ``remaining()`` cooperatively and raise :class:`DeadlineExceeded`.
+* :class:`RetryPolicy` -- bounded attempts with exponential backoff and
+  *deterministic* jitter (seeded per request key, so a replayed trace
+  backs off identically while distinct requests decorrelate).
+* :class:`CircuitBreaker` -- classic closed / open / half-open automaton
+  guarding the process-pool sweep tier; trips after N consecutive
+  failures, short-circuits to the degraded tier while open, and probes
+  for recovery after a cooldown.
+* :class:`SingleFlight` -- per-key coalescing of concurrent identical
+  work: one task computes, every other awaiter shares the result.
+* :class:`LatencyHistogram` -- fixed log-spaced buckets for per-stage
+  latency, JSON-ready for the ``stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.service.config import BreakerConfig, RetryConfig
+
+__all__ = [
+    "DeadlineExceeded",
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerOpen",
+    "SingleFlight",
+    "LatencyHistogram",
+]
+
+
+class DeadlineExceeded(ReproError):
+    """The request's wall budget ran out (mapped to ``deadline_exceeded``)."""
+
+
+@dataclass
+class Deadline:
+    """Monotonic deadline; ``None`` budget means unbounded."""
+
+    expires_at: float | None
+
+    @classmethod
+    def after(cls, seconds: float | None) -> "Deadline":
+        if seconds is None:
+            return cls(expires_at=None)
+        return cls(expires_at=time.monotonic() + float(seconds))
+
+    def remaining(self) -> float | None:
+        """Seconds left, or ``None`` when unbounded (never negative)."""
+        if self.expires_at is None:
+            return None
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return self.expires_at is not None and time.monotonic() >= self.expires_at
+
+    def check(self, stage: str = "") -> None:
+        """Cooperative cancellation point: raise when out of budget."""
+        if self.expired():
+            where = f" at stage {stage!r}" if stage else ""
+            raise DeadlineExceeded(f"deadline exceeded{where}")
+
+
+def _jitter_unit(seed: int, key: str, attempt: int) -> float:
+    """Deterministic uniform in ``[-1, 1]`` from ``(seed, key, attempt)``.
+
+    SHA-256-based so it is stable across processes and platforms
+    (``random.Random`` would be too, but this keeps the whole derivation
+    explicit and collision-resistant in the key).
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{key}:{attempt}".encode()
+    ).digest()
+    value = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return 2.0 * value - 1.0
+
+
+class RetryPolicy:
+    """Bounded retry schedule with exponential backoff + deterministic jitter."""
+
+    def __init__(self, config: RetryConfig | None = None):
+        self.config = config or RetryConfig()
+
+    @property
+    def attempts(self) -> int:
+        return max(1, self.config.attempts)
+
+    def delay(self, retry_index: int, key: str = "") -> float:
+        """Backoff before retry ``retry_index`` (1-based), in seconds."""
+        cfg = self.config
+        raw = cfg.base_delay * cfg.multiplier ** (retry_index - 1)
+        raw = min(raw, cfg.max_delay)
+        return max(
+            0.0, raw * (1.0 + cfg.jitter * _jitter_unit(cfg.seed, key, retry_index))
+        )
+
+    def schedule(self, key: str = "") -> list[float]:
+        """Every backoff delay this policy would apply, in order."""
+        return [self.delay(i, key) for i in range(1, self.attempts)]
+
+
+class BreakerOpen(ReproError):
+    """The circuit breaker is open: the guarded tier is short-circuited."""
+
+
+class CircuitBreaker:
+    """Closed / open / half-open automaton with monotonic cooldown.
+
+    ``call``-free design: the runtime brackets the guarded operation
+    with :meth:`allow`, then reports :meth:`record_success` /
+    :meth:`record_failure`.  That keeps the breaker synchronous and
+    trivially testable while the guarded work runs on executor threads.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(self, config: BreakerConfig | None = None, *, clock=time.monotonic):
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._half_open_successes = 0
+        self._probe_inflight = False
+        self.stats = {
+            "trips": 0, "short_circuits": 0, "probes": 0, "recoveries": 0,
+            "failures": 0, "successes": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May the guarded tier run now?  (May transition open->half-open.)"""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            elapsed = self._clock() - (self._opened_at or 0.0)
+            if elapsed >= self.config.cooldown:
+                self.state = self.HALF_OPEN
+                self._half_open_successes = 0
+                self._probe_inflight = False
+            else:
+                self.stats["short_circuits"] += 1
+                return False
+        # half-open: admit one probe at a time
+        if self._probe_inflight:
+            self.stats["short_circuits"] += 1
+            return False
+        self._probe_inflight = True
+        self.stats["probes"] += 1
+        return True
+
+    def record_success(self) -> None:
+        self.stats["successes"] += 1
+        if self.state == self.HALF_OPEN:
+            self._probe_inflight = False
+            self._half_open_successes += 1
+            if self._half_open_successes >= self.config.probe_successes:
+                self.state = self.CLOSED
+                self.consecutive_failures = 0
+                self.stats["recoveries"] += 1
+        else:
+            self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self.stats["failures"] += 1
+        if self.state == self.HALF_OPEN:
+            self._probe_inflight = False
+            self._trip()
+            return
+        self.consecutive_failures += 1
+        if (
+            self.state == self.CLOSED
+            and self.consecutive_failures >= self.config.fail_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = self.OPEN
+        self._opened_at = self._clock()
+        self.stats["trips"] += 1
+        self.consecutive_failures = 0
+
+    def describe(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            **self.stats,
+        }
+
+
+class SingleFlight:
+    """Coalesce concurrent identical work onto one in-flight task.
+
+    ``run(key, factory)`` returns the shared result: the first caller
+    for a key starts ``factory()`` as a background task, every
+    concurrent duplicate awaits the same task and counts as a dedup
+    hit.  Awaiting goes through :func:`asyncio.shield`, so one caller
+    timing out (``wait_for`` cancellation) does *not* cancel the shared
+    computation -- it runs to completion and later arrivals (or the
+    reduction cache) still benefit.  The entry is removed when the task
+    finishes, so sequential repeats recompute (the cache handles
+    those).  Failures propagate to every waiter.
+    """
+
+    def __init__(self):
+        self._inflight: dict[str, asyncio.Task] = {}
+        self.hits = 0       # awaiters that joined an in-flight computation
+        self.starts = 0     # computations actually started
+
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    async def run(self, key: str, factory):
+        task = self._inflight.get(key)
+        if task is None:
+            self.starts += 1
+            task = asyncio.get_running_loop().create_task(factory())
+            self._inflight[key] = task
+            task.add_done_callback(
+                lambda done, k=key: self._finish(k, done)
+            )
+        else:
+            self.hits += 1
+        return await asyncio.shield(task)
+
+    def _finish(self, key: str, task: asyncio.Task) -> None:
+        self._inflight.pop(key, None)
+        if not task.cancelled():
+            # mark retrieved so an all-waiters-timed-out failure does
+            # not log a "exception was never retrieved" warning
+            task.exception()
+
+    async def drain(self) -> None:
+        """Wait for every in-flight computation (shutdown barrier)."""
+        tasks = list(self._inflight.values())
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+
+#: histogram bucket upper bounds in milliseconds (last bucket is +inf)
+_BUCKETS_MS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000)
+
+
+class LatencyHistogram:
+    """Fixed log-spaced latency buckets, JSON-ready for ``stats``."""
+
+    def __init__(self):
+        self.counts = [0] * (len(_BUCKETS_MS) + 1)
+        self.total = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = seconds * 1e3
+        self.total += 1
+        self.sum_ms += ms
+        self.max_ms = max(self.max_ms, ms)
+        for index, bound in enumerate(_BUCKETS_MS):
+            if ms <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def to_dict(self) -> dict:
+        buckets = {
+            f"le_{bound}ms": count
+            for bound, count in zip(_BUCKETS_MS, self.counts)
+        }
+        buckets["inf"] = self.counts[-1]
+        return {
+            "count": self.total,
+            "mean_ms": round(self.sum_ms / self.total, 3) if self.total else 0.0,
+            "max_ms": round(self.max_ms, 3),
+            "buckets": buckets,
+        }

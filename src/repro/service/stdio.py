@@ -1,0 +1,84 @@
+"""stdio-JSONL front: one JSON request per line in, one response out.
+
+The canonical front for driving the service from another process::
+
+    printf '%s\n' '{"id":"h1","op":"healthz"}' | repro serve --stdio
+
+Each input line becomes an independent asyncio task, so a slow sweep
+never blocks a ``stats`` probe behind it; responses are serialized
+through a single writer lock and may arrive out of order (clients
+correlate by ``id``).  EOF on stdin or a ``shutdown`` request drains
+in-flight work and exits cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from repro.service.protocol import encode_line, error_response
+from repro.service.runtime import MacromodelService
+
+__all__ = ["serve_stdio"]
+
+
+async def _read_lines(loop):
+    """Async line iterator over ``sys.stdin`` (thread-bridged)."""
+    while True:
+        line = await loop.run_in_executor(None, sys.stdin.readline)
+        if not line:  # EOF
+            return
+        line = line.strip()
+        if line:
+            yield line
+
+
+async def serve_stdio(
+    service: MacromodelService,
+    *,
+    stdout=None,
+) -> int:
+    """Run the JSONL loop until EOF or a ``shutdown`` request drains.
+
+    Returns the number of requests handled.  ``stdout`` is injectable
+    for tests; defaults to ``sys.stdout``.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    loop = asyncio.get_running_loop()
+    write_lock = asyncio.Lock()
+    tasks: set[asyncio.Task] = set()
+    handled = 0
+
+    async def respond(payload: dict) -> None:
+        async with write_lock:
+            out.write(encode_line(payload))
+            out.flush()
+
+    async def one(line: str) -> None:
+        nonlocal handled
+        try:
+            import json
+
+            payload = json.loads(line)
+        except ValueError as exc:
+            await respond(
+                error_response(None, "bad_request", f"invalid JSON: {exc}")
+            )
+            handled += 1
+            return
+        response = await service.handle(payload)
+        handled += 1
+        await respond(response)
+
+    async for line in _read_lines(loop):
+        task = loop.create_task(one(line))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+        if service.shutting_down:
+            break
+
+    # drain: every accepted request still gets its response
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+    await service.drain()
+    return handled

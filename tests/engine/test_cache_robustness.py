@@ -1,0 +1,201 @@
+"""Disk-cache crash consistency, eviction policies, and thread safety.
+
+The service runtime (:mod:`repro.service`) keeps one
+:class:`ReductionCache` alive for days and hits it from worker
+threads, so the disk layer must tolerate crashes mid-write (no
+``.tmp.npz`` orphans, truncated archives recovered as misses) and
+bound its footprint (size budget + TTL, least-recently-accessed
+first).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import threading
+
+import pytest
+
+import repro
+from repro.engine import Engine, ReductionCache
+
+
+@pytest.fixture(scope="module")
+def model():
+    net = repro.Netlist("cache-robustness")
+    net.port("in", "n1")
+    for k in range(1, 7):
+        net.resistor(f"R{k}", f"n{k}", f"n{k + 1}", 1.0e3)
+        net.capacitor(f"C{k}", f"n{k + 1}", "0", 1.0e-12)
+    net.resistor("Rload", "n7", "0", 2.0e3)
+    system = repro.assemble_mna(net)
+    return Engine().reduce(system, 4, use_cache=False)
+
+
+class TestCrashConsistency:
+    def test_failed_save_leaves_no_tmp_file(self, tmp_path, monkeypatch, model):
+        def exploding_save(model, path):
+            pathlib.Path(path).write_bytes(b"partial write")
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.io.save_model", exploding_save)
+        cache = ReductionCache(cache_dir=tmp_path)
+        cache.put("k" * 64, model)
+        # memory layer still serves the entry ...
+        assert cache.get("k" * 64) is model
+        # ... and the half-written tmp archive is gone
+        assert list(tmp_path.iterdir()) == []
+
+    def test_stray_tmp_files_swept(self, tmp_path, model):
+        cache = ReductionCache(
+            cache_dir=tmp_path, max_disk_bytes=10 ** 9
+        )
+        stray = tmp_path / ".deadbeef.tmp.npz"
+        stray.write_bytes(b"crash leftover")
+        cache.put("a" * 64, model)  # put triggers the eviction pass
+        assert not stray.exists()
+        assert len(cache.disk_entries()) == 1
+
+    def test_clear_removes_tmp_files(self, tmp_path, model):
+        cache = ReductionCache(cache_dir=tmp_path)
+        cache.put("a" * 64, model)
+        (tmp_path / ".feed.tmp.npz").write_bytes(b"junk")
+        assert cache.clear() == 1  # tmp files not counted
+        assert list(tmp_path.iterdir()) == []
+
+    def test_tmp_files_invisible_to_disk_entries(self, tmp_path, model):
+        cache = ReductionCache(cache_dir=tmp_path)
+        cache.put("a" * 64, model)
+        (tmp_path / ".feed.tmp.npz").write_bytes(b"junk")
+        assert [p.name for p in cache.disk_entries()] == ["a" * 64 + ".npz"]
+
+    def test_truncated_archive_dropped_on_get(self, tmp_path, model):
+        writer = ReductionCache(cache_dir=tmp_path)
+        writer.put("a" * 64, model)
+        [path] = writer.disk_entries()
+        path.write_bytes(path.read_bytes()[:40])  # truncate mid-archive
+
+        fresh = ReductionCache(cache_dir=tmp_path)
+        assert fresh.get("a" * 64) is None
+        assert fresh.stats.misses == 1
+        assert not path.exists()  # the broken file was removed
+
+
+class TestEviction:
+    @staticmethod
+    def age(tmp_path, key, age_seconds):
+        """Back-date an entry's mtime by ``age_seconds``."""
+        path = tmp_path / f"{key}.npz"
+        stamp = os.stat(path).st_mtime - age_seconds
+        os.utime(path, times=(stamp, stamp))
+        return path
+
+    def test_ttl_removes_only_expired(self, tmp_path, model):
+        cache = ReductionCache(cache_dir=tmp_path, ttl_seconds=100.0)
+        cache.put("a" * 64, model)
+        cache.put("b" * 64, model)
+        old = self.age(tmp_path, "a" * 64, 1000.0)
+        new = self.age(tmp_path, "b" * 64, 10.0)
+        removed = cache.evict_disk()
+        assert removed == 1
+        assert not old.exists() and new.exists()
+        assert cache.stats.disk_evictions_ttl == 1
+
+    def test_ttl_enforced_on_put(self, tmp_path, model):
+        cache = ReductionCache(cache_dir=tmp_path, ttl_seconds=100.0)
+        cache.put("a" * 64, model)
+        old = self.age(tmp_path, "a" * 64, 1000.0)
+        cache.put("b" * 64, model)  # the write triggers the TTL pass
+        assert not old.exists()
+        assert cache.stats.disk_evictions_ttl == 1
+
+    def test_size_budget_evicts_oldest_first(self, tmp_path, model):
+        cache = ReductionCache(cache_dir=tmp_path)
+        for key in ("a" * 64, "b" * 64, "c" * 64):
+            cache.put(key, model)
+        oldest = self.age(tmp_path, "a" * 64, 300.0)
+        middle = self.age(tmp_path, "b" * 64, 200.0)
+        newest = self.age(tmp_path, "c" * 64, 100.0)
+        entry_bytes = os.stat(newest).st_size
+
+        cache.max_disk_bytes = entry_bytes  # room for exactly one entry
+        removed = cache.evict_disk()
+        assert removed == 2
+        assert not oldest.exists() and not middle.exists()
+        assert newest.exists()
+        assert cache.stats.disk_evictions_size == 2
+
+    def test_put_enforces_budget_automatically(self, tmp_path, model):
+        cache = ReductionCache(cache_dir=tmp_path, max_disk_bytes=0)
+        cache.put("a" * 64, model)
+        assert cache.disk_entries() == []
+        assert cache.stats.disk_evictions_size == 1
+        # the memory layer still holds it
+        assert cache.get("a" * 64) is model
+
+    def test_disk_hit_refreshes_recency(self, tmp_path, model):
+        writer = ReductionCache(cache_dir=tmp_path, ttl_seconds=100.0)
+        writer.put("a" * 64, model)
+        path = self.age(tmp_path, "a" * 64, 1000.0)
+        # a fresh instance (cold memory) reads the entry from disk,
+        # which must bump its mtime so TTL tracks *access* recency
+        reader = ReductionCache(cache_dir=tmp_path, ttl_seconds=100.0)
+        assert reader.get("a" * 64) is not None
+        assert reader.evict_disk() == 0
+        assert path.exists()
+
+    def test_no_policy_is_a_noop(self, tmp_path, model):
+        cache = ReductionCache(cache_dir=tmp_path)
+        cache.put("a" * 64, model)
+        assert cache.evict_disk() == 0
+        assert len(cache.disk_entries()) == 1
+
+    def test_describe_reports_policy(self, tmp_path):
+        cache = ReductionCache(
+            cache_dir=tmp_path, max_disk_bytes=1024, ttl_seconds=60.0
+        )
+        info = cache.describe()
+        assert info["max_disk_bytes"] == 1024
+        assert info["ttl_seconds"] == 60.0
+        assert info["disk_evictions_size"] == 0
+        assert info["disk_evictions_ttl"] == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_disk_bytes": -1},
+        {"ttl_seconds": 0.0},
+        {"ttl_seconds": -5.0},
+    ])
+    def test_bad_policy_rejected(self, tmp_path, kwargs):
+        with pytest.raises(ValueError):
+            ReductionCache(cache_dir=tmp_path, **kwargs)
+
+
+class TestThreadSafety:
+    def test_concurrent_get_put(self, tmp_path, model):
+        cache = ReductionCache(
+            max_entries=8, cache_dir=tmp_path, max_disk_bytes=10 ** 9
+        )
+        keys = [chr(ord("a") + i) * 64 for i in range(6)]
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for round_ in range(15):
+                    key = keys[(worker_id + round_) % len(keys)]
+                    cache.put(key, model)
+                    got = cache.get(key)
+                    assert got is not None
+                    cache.describe()
+                    cache.evict_disk()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        assert all(cache.get(k) is not None for k in keys)

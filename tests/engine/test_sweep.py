@@ -20,6 +20,13 @@ from ..conftest import dense_impedance, rel_err
 
 
 class TestResolveWorkers:
+    @pytest.fixture(autouse=True)
+    def eight_cpus(self, monkeypatch):
+        """Pin the clamp ceiling so assertions hold on any machine."""
+        import repro.engine.sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 8)
+
     def test_explicit_argument_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "7")
         assert resolve_workers(3) == 3
@@ -40,6 +47,20 @@ class TestResolveWorkers:
     def test_floor_at_one(self):
         assert resolve_workers(0) == 1
         assert resolve_workers(-3) == 1
+
+    def test_clamped_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(64) == 8
+        monkeypatch.setenv("REPRO_WORKERS", "64")
+        assert resolve_workers(None) == 8
+
+    def test_nonpositive_env_warns_and_serializes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.warns(repro.errors.NumericalWarning, match="non-positive"):
+            assert resolve_workers(None) == 1
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.warns(repro.errors.NumericalWarning, match="non-positive"):
+            assert resolve_workers(None) == 1
 
 
 class TestAlignedCscPair:
@@ -142,3 +163,80 @@ class TestParallelExact:
         ]
         for out in results[1:]:
             assert np.allclose(out, results[0], rtol=1e-12, atol=0.0)
+
+
+class _ExplodingPool:
+    """ProcessPoolExecutor stand-in whose bring-up / map fails."""
+
+    raises: type[BaseException] = OSError
+
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def map(self, fn, payloads):
+        raise self.raises("injected pool failure")
+
+
+class TestPoolFallbackObservability:
+    @pytest.fixture(autouse=True)
+    def many_cpus(self, monkeypatch):
+        import repro.engine.sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 8)
+
+    def test_fallback_records_health_event(
+        self, rc_two_port_system, monkeypatch
+    ):
+        import concurrent.futures as futures
+
+        from repro.robustness import HealthMonitor
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor", _ExplodingPool)
+        monitor = HealthMonitor()
+        sigma = 1j * np.logspace(7, 10, 40)
+        with pytest.warns(repro.errors.NumericalWarning, match="pool"):
+            out = parallel_ac_kernel(
+                rc_two_port_system, sigma,
+                workers=2, min_points_per_worker=4, monitor=monitor,
+            )
+        assert np.allclose(out, ac_kernel(rc_two_port_system, sigma))
+        events = monitor.by_category("engine.sweep")
+        assert len(events) == 1
+        assert events[0].data["stage"] == "pool-fallback"
+        assert events[0].data["error_class"] == "OSError"
+
+    def test_memory_error_reraised(self, rc_two_port_system, monkeypatch):
+        import concurrent.futures as futures
+
+        class OOMPool(_ExplodingPool):
+            raises = MemoryError
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor", OOMPool)
+        sigma = 1j * np.logspace(7, 10, 40)
+        with pytest.raises(MemoryError):
+            parallel_ac_kernel(
+                rc_two_port_system, sigma,
+                workers=2, min_points_per_worker=4,
+            )
+
+    def test_engine_stats_reflect_pool_failure(
+        self, rc_two_port_system, monkeypatch
+    ):
+        import concurrent.futures as futures
+
+        from repro.engine import Engine
+        from repro.robustness import HealthMonitor
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor", _ExplodingPool)
+        monitor = HealthMonitor()
+        engine = Engine(workers=2, monitor=monitor)
+        s = 1j * np.logspace(7, 10, 40)
+        with pytest.warns(repro.errors.NumericalWarning):
+            engine.sweep(rc_two_port_system, s)
+        assert len(monitor.by_category("engine.sweep")) == 1

@@ -178,3 +178,109 @@ class TestGenuineIncurableBreakdown:
         assert incurable, "expected an incurable-breakdown truncation event"
         assert model.order < system.size
         assert not health.healthy
+
+
+class TestServiceFaultPlan:
+    def test_parse_grammar(self):
+        from repro.robustness import ServiceFaultPlan
+
+        plan = ServiceFaultPlan.parse(
+            "service.slow@reduce:once, service.drop@sweep:3, "
+            "pool.crash@chunk"
+        )
+        assert [s.spec_string() for s in plan.specs] == [
+            "service.slow@reduce:once",
+            "service.drop@sweep:3",
+            "pool.crash@chunk",
+        ]
+
+    @pytest.mark.parametrize("text", [
+        "", "service.slow", "service.slow@", "service.drop@sweep:soon",
+    ])
+    def test_parse_rejects(self, text):
+        from repro.robustness import ServiceFaultPlan
+
+        with pytest.raises(ReproError):
+            ServiceFaultPlan.parse(text)
+
+    def test_once_fires_once_sticky_forever(self):
+        from repro.robustness import ServiceFaultPlan
+
+        plan = ServiceFaultPlan.parse(
+            "service.drop@reduce:once, pool.crash@chunk"
+        )
+        assert plan.take("service.drop", "reduce") is not None
+        assert plan.take("service.drop", "reduce") is None
+        for _ in range(3):
+            assert plan.take("pool.crash", "chunk") is not None
+        assert len(plan.triggered) == 4
+
+    def test_counted_spec(self):
+        from repro.robustness import ServiceFaultPlan
+
+        plan = ServiceFaultPlan.parse("service.drop@sweep:2")
+        assert plan.take("service.drop", "sweep") is not None
+        assert plan.take("service.drop", "sweep") is not None
+        assert plan.take("service.drop", "sweep") is None
+
+    def test_drop_and_crash_raise_typed_faults(self):
+        from repro.robustness import InjectedServiceFault, ServiceFaultPlan
+
+        plan = ServiceFaultPlan.parse(
+            "service.drop@reduce, pool.crash@chunk"
+        )
+        with pytest.raises(InjectedServiceFault) as exc_info:
+            plan.maybe_drop("reduce")
+        assert exc_info.value.kind == "service.drop"
+        assert exc_info.value.stage == "reduce"
+        with pytest.raises(InjectedServiceFault):
+            plan.maybe_crash_pool()
+        plan.maybe_drop("sweep")  # unarmed stage: no-op
+
+    def test_slow_delay(self):
+        from repro.robustness import ServiceFaultPlan
+
+        plan = ServiceFaultPlan.parse(
+            "service.slow@reduce:once", slow_seconds=0.25
+        )
+        assert plan.slow_delay("sweep") == 0.0
+        assert plan.slow_delay("reduce") == 0.25
+        assert plan.slow_delay("reduce") == 0.0  # :once consumed
+
+    def test_clear_disarms_but_keeps_log(self):
+        from repro.robustness import ServiceFaultPlan
+
+        plan = ServiceFaultPlan.parse("pool.crash@chunk")
+        plan.take("pool.crash", "chunk")
+        plan.clear()
+        assert plan.take("pool.crash", "chunk") is None
+        assert len(plan.triggered) == 1
+
+    def test_arm_extends_at_runtime(self):
+        from repro.robustness import ServiceFaultPlan
+
+        plan = ServiceFaultPlan.parse("pool.crash@chunk")
+        plan.arm("service.drop@reduce:once")
+        assert plan.take("service.drop", "reduce") is not None
+
+    def test_monitor_records_hits(self):
+        from repro.robustness import ServiceFaultPlan
+
+        plan = ServiceFaultPlan.parse("pool.crash@chunk")
+        plan.monitor = HealthMonitor()
+        plan.take("pool.crash", "chunk")
+        events = [
+            e for e in plan.monitor.events
+            if e.category == "fault.triggered"
+        ]
+        assert len(events) == 1
+        assert events[0].data["kind"] == "pool.crash"
+
+    def test_summary_json(self):
+        import json
+
+        from repro.robustness import ServiceFaultPlan
+
+        plan = ServiceFaultPlan.parse("service.drop@sweep:once")
+        plan.take("service.drop", "sweep")
+        json.dumps(plan.summary())

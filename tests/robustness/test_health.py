@@ -120,3 +120,34 @@ class TestHealthVerdict:
         health = ReductionHealth.from_events([])
         assert health.healthy
         assert health.factorization is None
+
+
+class TestServiceEvents:
+    def test_sweep_fallback_counted(self):
+        monitor = HealthMonitor()
+        monitor.record(
+            "engine.sweep", stage="pool-fallback",
+            error_class="OSError", error="pool died", workers=4, points=64,
+        )
+        health = monitor.report()
+        assert health.sweep_fallbacks == 1
+        assert health.to_dict()["sweep_fallbacks"] == 1
+
+    def test_service_degradations_collected(self):
+        monitor = HealthMonitor()
+        monitor.record(
+            "service.degrade", from_tier="pool",
+            to_tier="chunked-serial", reason="crash",
+            breaker_short_circuit=False,
+        )
+        monitor.record(
+            "service.degrade", from_tier="chunked-serial",
+            to_tier="direct", reason="overload",
+            breaker_short_circuit=False,
+        )
+        health = monitor.report()
+        assert len(health.service_degradations) == 2
+        assert health.service_degradations[0]["from_tier"] == "pool"
+        assert health.to_dict()["service_degradations"][1]["to_tier"] == (
+            "direct"
+        )

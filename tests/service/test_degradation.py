@@ -1,0 +1,201 @@
+"""The acceptance scenario: injected pool crashes degrade, never corrupt.
+
+A sticky ``pool.crash@chunk`` fault kills the process-pool sweep tier;
+concurrent exact-sweep requests must still return answers that match
+the per-point direct solves to 1e-10, the circuit breaker must trip
+(and its state / shed / retry counters surface in ``stats``), and
+clearing the fault must let the breaker close and the pool tier
+resume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import numpy as np
+
+from repro.circuits import assemble_mna, parse_netlist
+from repro.robustness.faultinject import ServiceFaultPlan
+from repro.service import MacromodelService, ServiceConfig
+from repro.service.config import BreakerConfig, RetryConfig
+from repro.simulation.ac import ac_sweep
+
+NETLIST = """* two-port RC ladder
+R1 1 2 1.0
+C1 2 0 1e-9
+R2 2 3 2.0
+C2 3 0 2e-9
+R3 3 4 1.5
+C3 4 0 1e-9
+.port P1 1 0
+.port P2 4 0
+"""
+
+BAND = [1e6, 1e9]
+POINTS = 10
+
+
+def grid():
+    return 1j * np.logspace(
+        np.log10(BAND[0]), np.log10(BAND[1]), POINTS
+    )
+
+
+def exact_request(request_id):
+    return {
+        "id": request_id, "op": "sweep",
+        "params": {
+            "netlist": NETLIST, "order": 4, "band": BAND,
+            "points": POINTS, "exact": True, "return_values": True,
+        },
+    }
+
+
+def response_z(resp):
+    result = resp["result"]
+    return (
+        np.asarray(result["z_real"]) + 1j * np.asarray(result["z_imag"])
+    )
+
+
+def test_pool_crash_degrades_then_recovers():
+    plan = ServiceFaultPlan.parse("pool.crash@chunk")
+    config = ServiceConfig(
+        max_concurrency=4,
+        breaker=BreakerConfig(
+            fail_threshold=3, cooldown=0.05, probe_successes=1
+        ),
+        retry=dataclasses.replace(
+            RetryConfig(), base_delay=0.001, max_delay=0.002
+        ),
+    )
+    svc = MacromodelService(config, fault_plan=plan)
+    reference = ac_sweep(
+        assemble_mna(parse_netlist(NETLIST)), grid()
+    ).z
+
+    async def faulty_phase():
+        responses = await asyncio.gather(*(
+            svc.handle(exact_request(f"deg{k}")) for k in range(6)
+        ))
+        stats = (await svc.handle({"id": "s", "op": "stats"}))["result"]
+        return responses, stats
+
+    responses, stats = asyncio.run(faulty_phase())
+
+    # 1. every request answered correctly despite the dead pool tier
+    assert all(r["ok"] for r in responses), responses
+    for resp in responses:
+        assert resp["result"]["tier"] in ("chunked-serial", "direct")
+        assert np.abs(response_z(resp) - reference).max() <= 1e-10
+
+    # 2. the breaker tripped and the full picture is in stats
+    service = stats["service"]
+    assert service["breaker"]["state"] in ("open", "half-open")
+    assert service["breaker"]["trips"] >= 1
+    assert "shed" in service and "retries" in service
+    degraded = sum(service["degradations"].values())
+    assert degraded == 6
+    assert service["degradations"]["pool->chunked-serial"] == 6
+    # short-circuited requests never touched the crashing pool tier
+    assert len(plan.triggered) < 6
+    # every tier switch is an observable health event
+    degrade_events = [
+        e for e in svc.monitor.events if e.category == "service.degrade"
+    ]
+    assert len(degrade_events) == 6
+    assert any(e.data["breaker_short_circuit"] for e in degrade_events)
+
+    # 3. fault cleared -> cooldown elapses -> probe succeeds -> breaker
+    #    closes and the pool tier serves again
+    plan.clear()
+
+    async def recovery_phase():
+        await asyncio.sleep(0.06)  # past the breaker cooldown
+        recovered = await svc.handle(exact_request("rec"))
+        stats = (await svc.handle({"id": "s2", "op": "stats"}))["result"]
+        return recovered, stats
+
+    recovered, stats = asyncio.run(recovery_phase())
+    assert recovered["ok"]
+    assert recovered["result"]["tier"] == "pool"
+    assert np.abs(response_z(recovered) - reference).max() <= 1e-10
+    assert stats["service"]["breaker"]["state"] == "closed"
+    assert stats["service"]["breaker"]["recoveries"] >= 1
+
+
+def test_reduced_sweep_survives_compiled_tier_failure(monkeypatch):
+    """A broken compiled path degrades to the serial tier, same values."""
+    svc = MacromodelService(ServiceConfig())
+
+    def exploding_sweep(target, s_values, **kw):
+        raise RuntimeError("compiled evaluation exploded")
+
+    monkeypatch.setattr(svc.engine, "sweep", exploding_sweep)
+    request = {
+        "id": "w", "op": "sweep",
+        "params": {
+            "netlist": NETLIST, "order": 4, "band": BAND,
+            "points": POINTS, "return_values": True,
+        },
+    }
+    resp = asyncio.run(svc.handle(request))
+    assert resp["ok"], resp
+    assert resp["result"]["tier"] == "chunked-serial"
+    assert svc.counters["degradations"]["compiled->chunked-serial"] == 1
+
+    # the degraded answer still matches the model evaluated directly
+    system = assemble_mna(parse_netlist(NETLIST))
+    from repro.engine import Engine
+
+    model = Engine().reduce(system, 4)
+    expected = model.impedance(grid())
+    assert np.abs(response_z(resp) - expected).max() <= 1e-10
+
+
+def test_last_resort_direct_tier(monkeypatch):
+    """Both upper tiers dead: per-point direct solves still answer."""
+    # serial_chunk=8 puts the serial tier at chunk 8 and the direct
+    # tier at chunk max(1, 8//8) = 1, so the shim below can tell them
+    # apart and kill only the serial tier
+    svc = MacromodelService(ServiceConfig(serial_chunk=8))
+
+    def exploding_sweep(target, s_values, **kw):
+        raise RuntimeError("compiled evaluation exploded")
+
+    original = MacromodelService._chunked_sweep
+
+    async def serial_killer(self, evaluate, s, deadline, chunk, port_names):
+        if chunk > 1:
+            raise RuntimeError("serial tier disabled by test")
+        return await original(
+            self, evaluate, s, deadline, chunk, port_names
+        )
+
+    monkeypatch.setattr(svc.engine, "sweep", exploding_sweep)
+    monkeypatch.setattr(
+        MacromodelService, "_chunked_sweep", serial_killer
+    )
+    request = {
+        "id": "w", "op": "sweep",
+        "params": {
+            "netlist": NETLIST, "order": 4, "band": BAND,
+            "points": POINTS, "return_values": True,
+        },
+    }
+    resp = asyncio.run(svc.handle(request))
+    assert resp["ok"], resp
+    assert resp["result"]["tier"] == "direct"
+    assert svc.counters["degradations"] == {
+        "compiled->chunked-serial": 1,
+        "chunked-serial->direct": 1,
+    }
+
+    # and the per-point answers match the model evaluated directly
+    system = assemble_mna(parse_netlist(NETLIST))
+    from repro.engine import Engine
+
+    model = Engine().reduce(system, 4)
+    expected = model.impedance(grid())
+    assert np.abs(response_z(resp) - expected).max() <= 1e-10

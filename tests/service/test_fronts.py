@@ -1,0 +1,173 @@
+"""The stdio-JSONL loop and the localhost HTTP front."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import MacromodelService, ServiceConfig, serve_stdio
+from repro.service.http import HTTP_STATUS, serve_http
+from repro.service.protocol import ERROR_CODES
+
+NETLIST = """* one-port RC
+R1 1 2 1.0
+C1 2 0 1e-9
+R2 2 0 5.0
+.port P1 1 0
+"""
+
+
+def run_stdio(lines):
+    """Feed ``lines`` to serve_stdio; returns decoded responses."""
+    stdin = io.StringIO("".join(line + "\n" for line in lines))
+    stdout = io.StringIO()
+
+    async def main():
+        import sys
+
+        svc = MacromodelService(ServiceConfig())
+        real_stdin = sys.stdin
+        sys.stdin = stdin
+        try:
+            handled = await serve_stdio(svc, stdout=stdout)
+        finally:
+            sys.stdin = real_stdin
+        return handled
+
+    handled = asyncio.run(main())
+    responses = [
+        json.loads(line) for line in stdout.getvalue().splitlines()
+    ]
+    return handled, responses
+
+
+class TestStdioFront:
+    def test_batch_round_trip(self):
+        handled, responses = run_stdio([
+            json.dumps({"id": "h", "op": "healthz"}),
+            json.dumps({
+                "id": "r", "op": "reduce",
+                "params": {"netlist": NETLIST, "order": 2},
+            }),
+            json.dumps({"id": "s", "op": "stats"}),
+        ])
+        assert handled == 3
+        by_id = {r["id"]: r for r in responses}
+        assert set(by_id) == {"h", "r", "s"}
+        assert all(r["ok"] for r in responses)
+        assert by_id["r"]["result"]["order"] == 2
+
+    def test_invalid_json_line_answered_not_fatal(self):
+        handled, responses = run_stdio([
+            "{broken",
+            json.dumps({"id": "h", "op": "healthz"}),
+        ])
+        assert handled == 2
+        codes = [
+            r.get("error", {}).get("code") for r in responses
+        ]
+        assert "bad_request" in codes
+        assert any(r["ok"] for r in responses)
+
+    def test_blank_lines_skipped(self):
+        handled, responses = run_stdio([
+            "", json.dumps({"id": "h", "op": "healthz"}), "   ",
+        ])
+        assert handled == 1
+        assert responses[0]["ok"]
+
+    def test_shutdown_request_ends_loop(self):
+        handled, responses = run_stdio([
+            json.dumps({"id": "q", "op": "shutdown"}),
+            json.dumps({"id": "late", "op": "healthz"}),
+        ])
+        # the loop stops after the shutdown response; the late line may
+        # or may not be consumed, but the shutdown reply must exist
+        drained = {r["id"]: r for r in responses}
+        assert drained["q"]["result"]["status"] == "draining"
+
+
+@pytest.fixture()
+def http_service():
+    """A running HTTP front on an ephemeral port, torn down after."""
+    svc = MacromodelService(ServiceConfig())
+    loop = asyncio.new_event_loop()
+    server = loop.run_until_complete(serve_http(svc, port=0))
+    port = server.sockets[0].getsockname()[1]
+    import threading
+
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    try:
+        yield svc, port
+    finally:
+        loop.call_soon_threadsafe(server.close)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+
+
+def fetch(port, path, data=None):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(data).encode() if data is not None else None,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestHttpFront:
+    def test_healthz(self, http_service):
+        _, port = http_service
+        status, body = fetch(port, "/healthz")
+        assert status == 200
+        assert body["result"]["status"] == "ok"
+
+    def test_reduce_and_stats(self, http_service):
+        _, port = http_service
+        status, body = fetch(
+            port, "/reduce", {"netlist": NETLIST, "order": 2}
+        )
+        assert status == 200
+        assert body["result"]["order"] == 2
+        status, body = fetch(port, "/stats")
+        assert status == 200
+        assert body["result"]["service"]["ok"] >= 1
+
+    def test_bad_request_maps_to_400(self, http_service):
+        _, port = http_service
+        status, body = fetch(port, "/sweep", {"netlist": NETLIST})
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_unknown_route_404(self, http_service):
+        _, port = http_service
+        status, body = fetch(port, "/nope")
+        assert status == 404
+
+    def test_wrong_method_405(self, http_service):
+        _, port = http_service
+        status, _ = fetch(port, "/reduce")  # GET on a POST route
+        assert status == 405
+
+    def test_deadline_ms_carried(self, http_service):
+        svc, port = http_service
+        status, body = fetch(
+            port, "/sweep",
+            {"netlist": NETLIST, "order": 2, "band": [1e6, 1e9],
+             "points": 5, "deadline_ms": 30000},
+        )
+        assert status == 200
+        assert body["ok"]
+
+    def test_every_error_code_has_a_status(self):
+        assert set(HTTP_STATUS) == set(ERROR_CODES)

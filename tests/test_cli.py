@@ -262,3 +262,45 @@ class TestPackageEntryPoints:
         parser = build_parser()
         text = parser.format_help()
         assert "reduce" in text and "generate" in text and "info" in text
+
+
+class TestServe:
+    def test_parser_accepts_serve_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--http-port", "0", "--max-pending", "8",
+            "--max-concurrency", "2", "--deadline", "5",
+            "--retries", "2", "--cache-max-bytes", "1048576",
+            "--cache-ttl", "60",
+        ])
+        assert args.command == "serve"
+        assert args.http_port == 0
+        assert args.max_pending == 8
+        assert args.cache_max_bytes == 1048576
+
+    def test_bad_config_maps_to_repro_error(self, capsys):
+        from repro.cli import main
+
+        code = main(["serve", "--max-pending", "0"])
+        assert code == 1
+        assert "max_pending" in capsys.readouterr().err
+
+    def test_serve_round_trip_over_stdio(self, monkeypatch, capsys):
+        import io
+
+        from repro.cli import main
+
+        requests = io.StringIO(
+            '{"id":"h","op":"healthz"}\n{"id":"q","op":"shutdown"}\n'
+        )
+        monkeypatch.setattr("sys.stdin", requests)
+        code = main(["serve"])
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines() if line
+        ]
+        by_id = {r["id"]: r for r in lines}
+        assert by_id["h"]["result"]["status"] == "ok"
+        assert by_id["q"]["result"]["status"] == "draining"
