@@ -34,6 +34,7 @@ from repro.circuits import (
     peec_like_lc,
     random_passive,
     rc_ladder,
+    large_rc_grid,
     rc_mesh,
     rc_tree,
     rlc_line,
@@ -117,6 +118,7 @@ __all__ = [
     "write_netlist",
     "validate_netlist",
     "rc_ladder",
+    "large_rc_grid",
     "rc_mesh",
     "rc_tree",
     "rlc_line",

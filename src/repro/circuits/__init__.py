@@ -20,6 +20,7 @@ from repro.circuits.generators import (
     peec_like_lc,
     random_passive,
     rc_ladder,
+    large_rc_grid,
     rc_mesh,
     rc_tree,
     rlc_line,
@@ -62,6 +63,7 @@ __all__ = [
     "validate_netlist",
     "rc_ladder",
     "rc_tree",
+    "large_rc_grid",
     "rc_mesh",
     "coupled_rc_bus",
     "rlc_line",

@@ -145,6 +145,19 @@ def _inductor_loop_matrix(inc: IncidenceMatrices) -> sp.csr_matrix:
     if n_l == 0:
         n = inc.num_nodes
         return sp.csr_matrix((n, n), dtype=float)
+    coo = inc.inductance.tocoo()
+    if np.array_equal(coo.row, coo.col):
+        # uncoupled inductors: L is diagonal, so L^{-1} is too and the
+        # whole product stays sparse at O(nnz) -- the only path that
+        # scales to large nets
+        diag = inc.inductance.diagonal()
+        if np.any(diag == 0.0):
+            raise AssemblyError(
+                "branch inductance matrix is singular; check mutual "
+                "coupling coefficients"
+            )
+        a_l = inc.a_l.tocsr()
+        return (a_l.T @ sp.diags(1.0 / diag) @ a_l).tocsr()
     if n_l <= _DENSE_LINV_LIMIT:
         ldense = inc.inductance.toarray()
         try:
@@ -157,10 +170,24 @@ def _inductor_loop_matrix(inc: IncidenceMatrices) -> sp.csr_matrix:
         linv = 0.5 * (linv + linv.T)
         al = inc.a_l.toarray()
         return sp.csr_matrix(al.T @ linv @ al)
-    lu = spla.splu(inc.inductance.tocsc())
-    al_dense = inc.a_l.toarray()
-    linv_al = lu.solve(al_dense)
-    return sp.csr_matrix(al_dense.T @ linv_al)
+    # coupled L above the dense limit: sparse-factor L once and stream
+    # the solve in column chunks, so the peak footprint is one
+    # n_l x chunk panel instead of the full dense A_l
+    try:
+        lu = spla.splu(inc.inductance.tocsc())
+    except RuntimeError as exc:
+        raise AssemblyError(
+            "branch inductance matrix is singular; check mutual "
+            "coupling coefficients"
+        ) from exc
+    a_l = inc.a_l.tocsc()
+    n_nodes = inc.num_nodes
+    chunk = max(1, min(n_nodes, int(4.0e6 // max(1, n_l))))
+    blocks = []
+    for j0 in range(0, n_nodes, chunk):
+        panel = a_l[:, j0:j0 + chunk].toarray()
+        blocks.append(sp.csc_matrix(a_l.T @ lu.solve(panel)))
+    return sp.hstack(blocks).tocsr()
 
 
 def _port_matrix(inc: IncidenceMatrices, extra_rows: int = 0) -> np.ndarray:
@@ -306,11 +333,23 @@ def lc_inductor_current_output(net: Netlist, inductor_name: str) -> np.ndarray:
     inc = build_incidence(net)
     selector = np.zeros(len(inductors))
     selector[names.index(inductor_name)] = 1.0
-    lmat = inc.inductance.toarray()
-    try:
-        linv_b = np.linalg.solve(lmat, selector)
-    except np.linalg.LinAlgError as exc:
-        raise AssemblyError("branch inductance matrix is singular") from exc
+    if len(inductors) <= _DENSE_LINV_LIMIT:
+        lmat = inc.inductance.toarray()
+        try:
+            linv_b = np.linalg.solve(lmat, selector)
+        except np.linalg.LinAlgError as exc:
+            raise AssemblyError(
+                "branch inductance matrix is singular"
+            ) from exc
+    else:
+        # large nets never form the dense L: one sparse factorization
+        # and a single-vector solve
+        try:
+            linv_b = spla.splu(inc.inductance.tocsc()).solve(selector)
+        except RuntimeError as exc:
+            raise AssemblyError(
+                "branch inductance matrix is singular"
+            ) from exc
     return np.asarray(inc.a_l.T @ linv_b)
 
 

@@ -67,6 +67,7 @@ from repro.analysis import Table
 from repro.circuits import assemble_mna, parse_netlist, write_netlist
 from repro.circuits.validate import validate_netlist
 from repro.core import certify, sympvl
+from repro.linalg.factorization import FACTORIZATION_METHODS
 from repro.core.model import ReducedOrderModel
 from repro.errors import (
     EXIT_LABELS,
@@ -122,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
     reduce_cmd.add_argument(
         "--diagnostics", metavar="PATH",
         help="write the health/recovery report as JSON (also on failure)")
+    reduce_cmd.add_argument(
+        "--factorization", default="auto", metavar="METHOD",
+        choices=FACTORIZATION_METHODS,
+        help="G = M J M^T backend, one of "
+        f"{', '.join(FACTORIZATION_METHODS)} (default auto; the "
+        "REPRO_FACTORIZATION environment variable overrides auto)")
     # deterministic fault injection; for the robustness test harness
     reduce_cmd.add_argument("--inject-fault", help=argparse.SUPPRESS)
 
@@ -153,6 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default: in-memory only)")
     sweep.add_argument("--stats-json", metavar="PATH",
                        help="write engine session metrics as JSON")
+    sweep.add_argument(
+        "--factorization", default="auto", metavar="METHOD",
+        choices=FACTORIZATION_METHODS,
+        help="G = M J M^T backend for sympvl/sypvl (default auto)")
     sweep.add_argument("--out", metavar="PATH",
                        help="write the swept |Z| magnitudes as CSV")
 
@@ -243,6 +254,7 @@ def _reduce_model(args: argparse.Namespace, system, shift, fault_plan):
             max_retries=args.max_retries,
             fallback=args.fallback,
             fault_plan=fault_plan,
+            factor_method=args.factorization,
         )
         report = result.report
         if report.recovered:
@@ -270,6 +282,7 @@ def _reduce_model(args: argparse.Namespace, system, shift, fault_plan):
         factor_fn = None
     model = sympvl(
         system, order=args.order, shift=shift, monitor=monitor,
+        factor_method=args.factorization,
         factor_fn=factor_fn, operator_wrapper=wrapper,
     )
     cert = certify(model, monitor=monitor)
@@ -389,8 +402,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     s = 1j * np.logspace(np.log10(w_lo), np.log10(w_hi), args.points)
 
     engine = Engine(cache_dir=args.cache_dir, workers=args.workers)
+    reduce_options = {}
+    if args.engine in ("sympvl", "sypvl") and args.factorization != "auto":
+        reduce_options["factor_method"] = args.factorization
     model = engine.reduce(
-        system, args.order, engine=args.engine, shift=shift
+        system, args.order, engine=args.engine, shift=shift,
+        **reduce_options,
     )
     cache_stats = engine.cache.stats
     source = "cache" if cache_stats.hits else "fresh reduction"

@@ -76,6 +76,14 @@ class LanczosOptions:
     reorthogonalize:
         ``"full"`` (robust, default) or ``"local"`` (the paper's banded
         recurrence window).
+    block_size:
+        Number of successor generations batched into one blocked
+        operator application (one triangular-solve pass through the
+        factorization per block instead of one per column -- the hot
+        loop of the large-net path).  ``0`` (default) picks
+        automatically: the starting-block width in ``"full"`` mode, and
+        ``1`` in ``"local"`` mode, whose banded-window bookkeeping is
+        defined against immediate successor generation.
     """
 
     deflation_tol: float = 1.0e-10
@@ -83,6 +91,7 @@ class LanczosOptions:
     cluster_tol: float = 1.0e-8
     max_cluster: int = 8
     reorthogonalize: str = "full"
+    block_size: int = 0
 
     def __post_init__(self) -> None:
         if self.reorthogonalize not in ("full", "local"):
@@ -94,6 +103,8 @@ class LanczosOptions:
             raise ValueError("need 0 <= exact_deflation_tol <= deflation_tol < 1")
         if self.max_cluster < 1:
             raise ValueError("max_cluster must be >= 1")
+        if self.block_size < 0:
+            raise ValueError("block_size must be >= 0 (0 = automatic)")
 
 
 @dataclass(frozen=True)
@@ -251,6 +262,17 @@ class LanczosEngine:
             _Candidate(np.array(start[:, j], dtype=float), ("b", j))
             for j in range(self._p)
         )
+        # successor generation is deferred into blocks: vector indices
+        # whose K v_m has not been computed yet (see _flush_pending)
+        self._pending: list[int] = []
+        if self._opts.block_size > 0:
+            self._block = self._opts.block_size
+        elif self._opts.reorthogonalize == "local":
+            # the banded window (step 3b) is defined against immediate
+            # successor generation; keep it exact
+            self._block = 1
+        else:
+            self._block = max(1, self._p)
 
     # ------------------------------------------------------------------
     # state
@@ -263,7 +285,9 @@ class LanczosEngine:
     @property
     def exhausted(self) -> bool:
         """Krylov space fully spanned: no candidates left or ``n = N``."""
-        return not self._queue or len(self._vectors) >= self._n_full
+        if len(self._vectors) >= self._n_full:
+            return True
+        return not self._queue and not self._pending
 
     # ------------------------------------------------------------------
     # bookkeeping helpers
@@ -387,15 +411,51 @@ class LanczosEngine:
         # complete a dangling look-ahead cluster if one is open
         while (
             self._clusters[-1].indices
-            and self._queue
+            and (self._queue or self._pending)
             and not self._open_cluster_regular()
         ):
             self._run_to(len(self._vectors) + 1)
         return len(self._vectors)
 
+    def _flush_pending(self) -> None:
+        """Generate the deferred successors ``K v_m`` with one blocked apply.
+
+        This is the blocked hot loop: all pending Lanczos vectors go
+        through the factorization's triangular solves as one multi-column
+        right-hand side (``LanczosOperator.apply`` accepts blocks), then
+        each resulting candidate is orthogonalized and enqueued in vector
+        order -- the same queue order immediate generation produces.
+        """
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        if len(pending) == 1:
+            raws = [
+                np.array(self._op.apply(self._vectors[pending[0]]), dtype=float)
+            ]
+        else:
+            block = np.column_stack([self._vectors[m] for m in pending])
+            applied = self._op.apply(block)
+            raws = [
+                np.array(applied[:, j], dtype=float)
+                for j in range(len(pending))
+            ]
+        for m, raw in zip(pending, raws):
+            self._kv[m] = raw
+            new = _Candidate(raw.copy(), ("av", m))
+            if self._opts.reorthogonalize == "full":
+                closed_ids = self._closed_cluster_ids()
+            else:
+                p_c_now = len(self._queue) + 1
+                closed_ids = self._local_window_ids(m, p_c_now)
+            self._orthogonalize_closed(new, closed_ids)
+            self._queue.append(new)
+
     def _run_to(self, order: int) -> None:
         opts = self._opts
-        while len(self._vectors) < order and self._queue:
+        while len(self._vectors) < order and (self._queue or self._pending):
+            if not self._queue:
+                self._flush_pending()
             cand = self._queue.popleft()
 
             # step 1b: Euclidean projection against the open cluster,
@@ -463,25 +523,22 @@ class LanczosEngine:
                 )
                 self._close_cluster(forced=True)
 
-            # step 3: generate the successor candidate K v_n (always, so
-            # the engine can resume seamlessly; the raw product is cached
-            # for the finalization projection)
-            raw = self._op.apply(self._vectors[n_idx])
-            self._kv[n_idx] = np.array(raw, dtype=float)
-            new = _Candidate(np.array(raw, dtype=float), ("av", n_idx))
-            p_c_now = len(self._queue) + 1
-            if opts.reorthogonalize == "full":
-                closed_ids = self._closed_cluster_ids()
-            else:
-                closed_ids = self._local_window_ids(n_idx, p_c_now)
-            self._orthogonalize_closed(new, closed_ids)
-            self._queue.append(new)
+            # step 3: schedule the successor candidate K v_n; generation
+            # is deferred so a whole block shares one triangular-solve
+            # pass (the raw product is cached for the finalization
+            # projection when the block flushes)
+            self._pending.append(n_idx)
+            if len(self._pending) >= self._block:
+                self._flush_pending()
 
     # ------------------------------------------------------------------
     # finalization
     # ------------------------------------------------------------------
     def result(self) -> LanczosResult:
         """Assemble the (non-destructive) result at the current order."""
+        # the finalization projection needs every cached K v_m: flush any
+        # successors still deferred in the current block
+        self._flush_pending()
         n = len(self._vectors)
         if n == 0:
             raise BreakdownError(

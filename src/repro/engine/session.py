@@ -144,11 +144,25 @@ class Engine:
                 f"choose one of {', '.join(_REDUCERS)}"
             )
         started = time.perf_counter()
+        key_options = {"shift": shift, **options}
+        if engine in ("sympvl", "sypvl"):
+            # key on the *effective* factorization backend so an
+            # explicit factor_method and an equivalent REPRO_FACTORIZATION
+            # override address the same entry -- and an env change never
+            # serves a stale backend's model from cache.  "auto" keys
+            # exactly like the pre-override layout.
+            from repro.linalg.factorization import resolve_factor_method
+
+            resolved = resolve_factor_method(
+                key_options.pop("factor_method", None)
+            )
+            if resolved != "auto":
+                key_options["factor_method"] = resolved
         key = reduction_key(
             system,
             engine=engine,
             order=order,
-            options={"shift": shift, **options},
+            options=key_options,
             version=self.version,
         )
         if use_cache:

@@ -10,16 +10,29 @@ Positive-definite ``G`` (RC/RL/LC circuit classes, paper section 2.2)
 gets a Cholesky factor and ``J = I``; indefinite ``G`` (general RLC MNA)
 gets a Bunch-Kaufman ``L J L^T`` with 1x1/2x2 blocks in ``J``.
 
-``factor_symmetric`` picks automatically and reports which path it took.
+Two compiled sparse tiers extend the facade to post-layout scale
+(10^5-10^6 unknowns, see ``docs/SCALING.md``): a SuperLU symmetric-mode
+``L D L^T`` (:class:`SuperLUFactorization`, works for definite *and*
+diagonally-pivotable indefinite matrices) and an optional CHOLMOD
+supernodal Cholesky (:class:`CholmodFactorization`, needs the
+``scikit-sparse`` extra).  All backends take matrix (multi-column)
+right-hand sides so the blocked Lanczos loop does one triangular pass
+per block.
+
+``factor_symmetric`` picks automatically by size and sparsity, honours
+the ``REPRO_FACTORIZATION`` environment override, and reports which
+path it took via ``factor.method`` health events.
 """
 
 from __future__ import annotations
 
 import abc
+import os
 
 import numpy as np
 import scipy.linalg
 import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
 from repro.errors import FactorizationError
 from repro.linalg.cholesky import SparseCholesky, dense_cholesky, sparse_cholesky
@@ -30,11 +43,59 @@ __all__ = [
     "CholeskyFactorization",
     "DenseCholeskyFactorization",
     "LDLTDenseFactorization",
+    "SuperLUFactorization",
+    "CholmodFactorization",
+    "FACTORIZATION_METHODS",
+    "cholmod_available",
     "factor_symmetric",
+    "resolve_factor_method",
 ]
 
 #: above this size, dense fallbacks are refused to avoid memory blowups
 _DENSE_LIMIT = 6000
+
+#: above this size, "auto" prefers the compiled sparse tiers (CHOLMOD,
+#: SuperLU) over the from-scratch up-looking Cholesky
+_SCALABLE_LIMIT = 2000
+
+#: environment variable overriding the backend picked by ``"auto"``
+_ENV_VAR = "REPRO_FACTORIZATION"
+
+#: every method name ``factor_symmetric`` accepts (CLI choices)
+FACTORIZATION_METHODS = (
+    "auto",
+    "sparse-cholesky",
+    "dense-cholesky",
+    "ldlt",
+    "ldlt-python",
+    "superlu",
+    "cholmod",
+)
+
+
+def resolve_factor_method(method: str | None = "auto") -> str:
+    """Effective factorization method after the environment override.
+
+    An explicit ``method`` always wins; ``"auto"`` (or ``None``) defers
+    to ``REPRO_FACTORIZATION`` when that is set and non-empty.  The
+    engine folds this resolved value into its reduction cache key so a
+    backend switch never aliases cached results.
+    """
+    if method not in (None, "auto"):
+        return method
+    env = os.environ.get(_ENV_VAR, "").strip().lower()
+    return env if env else "auto"
+
+
+def _as_csc(g: sp.spmatrix | np.ndarray) -> sp.csc_matrix:
+    """CSC view of ``g`` without copying when it already is one."""
+    if sp.issparse(g):
+        csc = g.tocsc()  # no-op (returns self) when already CSC
+    else:
+        csc = sp.csc_matrix(np.asarray(g, dtype=float))
+    if csc.dtype != np.float64:
+        csc = csc.astype(np.float64)
+    return csc
 
 
 class SymmetricFactorization(abc.ABC):
@@ -254,6 +315,272 @@ class LDLTDenseFactorization(SymmetricFactorization):
         return self._j.solve(x)
 
 
+def _row_scale(x: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Row-wise ``x * scale`` for vector or matrix ``x``."""
+    if x.ndim == 1:
+        return x * scale
+    return x * scale[:, None]
+
+
+class SuperLUFactorization(SymmetricFactorization):
+    """``G = M J M^T`` from SuperLU's symmetric-mode ``L D L^T``.
+
+    ``splu`` with ``SymmetricMode`` and a zero diagonal-pivot threshold
+    keeps the fill-reducing ``MMD_AT_PLUS_A`` ordering symmetric
+    (``perm_r == perm_c``), so the returned factors satisfy
+    ``P G P^T = L U`` with ``U = D L^T`` and diagonal ``D``.  Splitting
+    ``D = S |D|`` gives
+
+    ``M = P^T L |D|^{1/2}``, ``J = S = sign(D)``,
+
+    which is a *sparse* ``L J L^T`` in the sense of paper eq. 15: it
+    covers the definite circuit classes (``J = I``) and the diagonally
+    pivotable indefinite ones (``J = diag(+-1)``), at compiled-code
+    speed and near-minimal fill.  Matrices that need 2x2 Bunch-Kaufman
+    pivots (zero diagonal entries, e.g. unshifted RLC MNA) make SuperLU
+    abandon the symmetric order or leave a failing probe -- both raise
+    :class:`FactorizationError` so callers fall back, exactly like the
+    dense path does for singular inputs.
+
+    Triangular solves run through a second, NATURAL-ordered ``splu`` of
+    the unit-lower factor ``L`` itself (zero extra fill), which is much
+    faster than ``spsolve_triangular``, supports transposed solves, and
+    takes matrix right-hand sides -- the blocked Lanczos loop does one
+    compiled pass per block instead of one per column.
+    """
+
+    #: probe tolerance matching :func:`repro.linalg.utils.checked_splu`
+    _PROBE_RTOL = 1e-8
+
+    def __init__(
+        self, g: sp.spmatrix | np.ndarray, *, monitor=None
+    ):
+        csc = _as_csc(g)
+        n = csc.shape[0]
+
+        def fail(message: str, **extra) -> FactorizationError:
+            if monitor is not None:
+                monitor.record("factor.failure", method="superlu", **extra)
+            return FactorizationError(message)
+
+        try:
+            lu = spla.splu(
+                csc,
+                diag_pivot_thresh=0.0,
+                permc_spec="MMD_AT_PLUS_A",
+                options={"SymmetricMode": True},
+            )
+        except RuntimeError as exc:
+            raise fail(
+                f"SuperLU LDL^T factorization failed: {exc}; the matrix "
+                "is singular at this expansion point -- use a nonzero "
+                "shift (paper eq. 26)",
+                reason="splu",
+            ) from exc
+        if not np.array_equal(lu.perm_r, lu.perm_c):
+            raise fail(
+                "SuperLU abandoned the symmetric pivot order "
+                "(off-diagonal pivoting was required); the matrix has no "
+                "diagonal LDL^T -- use the dense Bunch-Kaufman path or a "
+                "different expansion shift",
+                reason="asymmetric-pivoting",
+            )
+        d = np.asarray(lu.U.diagonal(), dtype=float)
+        if not np.all(np.isfinite(d)) or np.any(d == 0.0):
+            raise fail(
+                "SuperLU produced a zero or non-finite pivot; the matrix "
+                "is numerically singular -- use a nonzero expansion shift",
+                reason="zero-pivot",
+            )
+        abs_d = np.abs(d)
+        if monitor is not None:
+            monitor.record(
+                "factor.pivots",
+                method="superlu",
+                size=n,
+                min_pivot=float(abs_d.min()),
+                max_pivot=float(abs_d.max()),
+                margin=float(abs_d.min() / max(abs_d.max(), 1e-300)),
+            )
+
+        # deterministic solve probe (same heuristic as checked_splu):
+        # near-singular inputs factor "successfully" with tiny pivots but
+        # amplify a unit-scale right-hand side beyond any usable
+        # conditioning -- reject them here so shift resolution can react.
+        probe = np.cos(np.arange(1, n + 1, dtype=float))
+        x = lu.solve(probe)
+        g_scale = float(np.abs(csc.data).max()) if csc.nnz else 0.0
+        amplification = float(np.abs(x).max()) * g_scale
+        if not np.all(np.isfinite(x)) or (
+            amplification > 1.0 / self._PROBE_RTOL**1.5
+        ):
+            raise fail(
+                "matrix is numerically singular (SuperLU probe "
+                f"amplification {amplification:.2e}); use a nonzero "
+                "expansion shift",
+                reason="probe",
+                amplification=amplification,
+            )
+
+        self._signs = np.where(d > 0.0, 1.0, -1.0)
+        self._j_identity = bool(np.all(d > 0.0))
+        self._sqrt_d = np.sqrt(abs_d)
+        self._inv_sqrt_d = 1.0 / self._sqrt_d
+        # scipy's reconstruction is ``A[q][:, q] = L U`` with
+        # ``q[perm_r[i]] = i``: the permutation ``P`` in
+        # ``P G P^T = L D L^T`` gathers through the *inverse* of
+        # ``perm_r``
+        row_perm = np.asarray(lu.perm_r, dtype=np.intp)
+        self._perm = np.empty(n, dtype=np.intp)
+        self._perm[row_perm] = np.arange(n, dtype=np.intp)
+        self._inverse_perm = row_perm
+        lower = lu.L.tocsc()
+        # release the SuperLU object before refactoring L: it holds both
+        # L and U (~2x the memory actually needed at 10^6 nodes)
+        del lu
+        self._lsolver = spla.splu(
+            lower,
+            permc_spec="NATURAL",
+            diag_pivot_thresh=0.0,
+            options={"SymmetricMode": False},
+        )
+        self._n = n
+
+    @property
+    def size(self) -> int:
+        return self._n
+
+    @property
+    def j_is_identity(self) -> bool:
+        return self._j_identity
+
+    @property
+    def j_signs(self) -> np.ndarray:
+        """The ``+-1`` diagonal of ``J`` (inertia of ``G``)."""
+        return self._signs
+
+    @property
+    def method(self) -> str:
+        return "superlu"
+
+    def solve_m(self, b: np.ndarray) -> np.ndarray:
+        # M = P^T L |D|^{1/2}: M x = b  <=>  L y = P b, x = |D|^{-1/2} y
+        y = self._lsolver.solve(np.asarray(b)[self._perm])
+        return _row_scale(y, self._inv_sqrt_d)
+
+    def solve_mt(self, b: np.ndarray) -> np.ndarray:
+        # M^T = |D|^{1/2} L^T P: M^T x = b  <=>
+        # L^T y = |D|^{-1/2} b, x = P^T y
+        y = self._lsolver.solve(
+            _row_scale(np.asarray(b), self._inv_sqrt_d), trans="T"
+        )
+        return y[self._inverse_perm]
+
+    def apply_j(self, x: np.ndarray) -> np.ndarray:
+        if self._j_identity:
+            return np.asarray(x)
+        return _row_scale(np.asarray(x), self._signs)
+
+    def solve_j(self, x: np.ndarray) -> np.ndarray:
+        # J = J^{-1} for a +-1 diagonal
+        return self.apply_j(x)
+
+
+def _cholmod_module():
+    """The ``sksparse.cholmod`` module, or ``None`` when not installed."""
+    try:
+        from sksparse import cholmod  # soft dependency (repro[cholmod])
+    except ImportError:
+        return None
+    return cholmod
+
+
+def cholmod_available() -> bool:
+    """True when the optional scikit-sparse CHOLMOD backend can be used."""
+    return _cholmod_module() is not None
+
+
+class CholmodFactorization(SymmetricFactorization):
+    """``G = (P^T L)(P^T L)^T`` via CHOLMOD supernodal Cholesky.
+
+    Optional backend on top of ``scikit-sparse`` (install the
+    ``repro[cholmod]`` extra); for very large SPD systems its supernodal
+    BLAS-3 factorization and AMD/NESDIS orderings typically beat
+    SuperLU's simplicial path.  Only definite matrices are accepted
+    (``J = I``); indefinite input raises :class:`FactorizationError`
+    so ``factor_symmetric`` falls through to SuperLU.
+    """
+
+    def __init__(
+        self, g: sp.spmatrix | np.ndarray, *, monitor=None
+    ):  # pragma: no cover - exercised only when scikit-sparse is present
+        cholmod = _cholmod_module()
+        if cholmod is None:
+            raise FactorizationError(
+                "the 'cholmod' backend needs scikit-sparse; install the "
+                "repro[cholmod] extra or use method='superlu' instead"
+            )
+        csc = _as_csc(g)
+        n = csc.shape[0]
+        try:
+            factor = cholmod.cholesky(csc)
+            # force the LL^T view now so indefiniteness surfaces here
+            lower = factor.L()
+        except cholmod.CholmodNotPositiveDefiniteError as exc:
+            if monitor is not None:
+                monitor.record(
+                    "factor.failure", method="cholmod", reason="indefinite"
+                )
+            raise FactorizationError(
+                f"CHOLMOD: matrix is not positive definite ({exc}); "
+                "use the superlu or ldlt backends for indefinite systems"
+            ) from exc
+        del lower
+        self._factor = factor
+        self._perm = np.asarray(factor.P(), dtype=np.intp)
+        self._inverse_perm = np.empty(n, dtype=np.intp)
+        self._inverse_perm[self._perm] = np.arange(n, dtype=np.intp)
+        self._n = n
+
+    @property
+    def size(self) -> int:
+        return self._n
+
+    @property
+    def j_is_identity(self) -> bool:
+        return True
+
+    @property
+    def method(self) -> str:
+        return "cholmod"
+
+    def solve_m(
+        self, b: np.ndarray
+    ) -> np.ndarray:  # pragma: no cover - needs scikit-sparse
+        # M = P^T L  =>  M x = b  <=>  L x = P b
+        return np.asarray(
+            self._factor.solve_L(
+                np.asarray(b)[self._perm], use_LDLt_decomposition=False
+            )
+        )
+
+    def solve_mt(
+        self, b: np.ndarray
+    ) -> np.ndarray:  # pragma: no cover - needs scikit-sparse
+        y = np.asarray(
+            self._factor.solve_Lt(
+                np.asarray(b), use_LDLt_decomposition=False
+            )
+        )
+        return y[self._inverse_perm]
+
+    def apply_j(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x)
+
+    def solve_j(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x)
+
+
 def _blocks_from_dense(d: np.ndarray) -> BlockDiagonal:
     """Extract the 1x1/2x2 block structure from a block-diagonal array."""
     n = d.shape[0]
@@ -287,9 +614,14 @@ def factor_symmetric(
     g:
         Symmetric matrix (sparse or dense).
     method:
-        ``"auto"`` (try Cholesky, fall back to Bunch-Kaufman),
-        ``"sparse-cholesky"``, ``"dense-cholesky"``, ``"ldlt"``
-        (LAPACK), or ``"ldlt-python"`` (from-scratch Bunch-Kaufman).
+        ``"auto"`` (pick by size/sparsity, fall back to Bunch-Kaufman),
+        ``"sparse-cholesky"`` (from-scratch up-looking),
+        ``"dense-cholesky"``, ``"ldlt"`` (LAPACK), ``"ldlt-python"``
+        (from-scratch Bunch-Kaufman), ``"superlu"`` (compiled sparse
+        ``L D L^T``, definite or diagonally-pivotable indefinite), or
+        ``"cholmod"`` (supernodal Cholesky; needs the ``repro[cholmod]``
+        extra).  ``"auto"`` honours the ``REPRO_FACTORIZATION``
+        environment variable (see :func:`resolve_factor_method`).
     assume_definite:
         Hint used by ``"auto"``: ``False`` skips the Cholesky attempt
         (saves time on matrices known to be indefinite).
@@ -305,13 +637,30 @@ def factor_symmetric(
         for circuits this means a frequency shift ``s0`` is needed,
         paper eq. 26).
     """
+    requested = method
+    method = resolve_factor_method(method)
     is_sparse = sp.issparse(g)
     n = g.shape[0]
+
+    def sparse_alternatives() -> str:
+        cholmod_note = (
+            "'cholmod'"
+            if cholmod_available()
+            else "'cholmod' (needs the repro[cholmod] extra)"
+        )
+        return (
+            f"pick a sparse backend instead: method='superlu' (any "
+            f"diagonally-pivotable symmetric matrix), {cholmod_note}, or "
+            "'sparse-cholesky' (definite only) -- via the method= "
+            f"argument, the {_ENV_VAR} environment variable, or the "
+            "--factorization CLI flag"
+        )
 
     def to_dense() -> np.ndarray:
         if n > _DENSE_LIMIT:
             raise FactorizationError(
-                f"matrix of size {n} is too large for the dense fallback"
+                f"matrix of size {n} is too large for the dense fallback "
+                f"(limit {_DENSE_LIMIT}); " + sparse_alternatives()
             )
         return g.toarray() if is_sparse else np.asarray(g, dtype=float)
 
@@ -326,7 +675,7 @@ def factor_symmetric(
     if method == "sparse-cholesky":
         return done(
             CholeskyFactorization(
-                sparse_cholesky(sp.csc_matrix(g), monitor=monitor)
+                sparse_cholesky(_as_csc(g), monitor=monitor)
             )
         )
     if method == "dense-cholesky":
@@ -341,25 +690,74 @@ def factor_symmetric(
         return done(
             LDLTDenseFactorization(to_dense(), engine="python", monitor=monitor)
         )
+    if method == "superlu":
+        return done(SuperLUFactorization(g, monitor=monitor))
+    if method == "cholmod":
+        return done(CholmodFactorization(g, monitor=monitor))
     if method != "auto":
-        raise FactorizationError(f"unknown factorization method {method!r}")
+        origin = (
+            f" (from the {_ENV_VAR} environment variable)"
+            if requested in (None, "auto")
+            else ""
+        )
+        raise FactorizationError(
+            f"unknown factorization method {method!r}{origin}; known "
+            "methods: " + ", ".join(FACTORIZATION_METHODS)
+        )
 
+    scalable = is_sparse and n > _SCALABLE_LIMIT
     if assume_definite is not False:
-        try:
-            if is_sparse and n > 200:
+        if scalable:
+            # compiled sparse tier: supernodal CHOLMOD when installed,
+            # then SuperLU LDL^T (which also covers the diagonally
+            # pivotable indefinite case, so reaching the dense fallback
+            # below means the matrix genuinely needs 2x2 pivots)
+            if cholmod_available():  # pragma: no cover - optional dep
+                try:
+                    return done(CholmodFactorization(g, monitor=monitor))
+                except FactorizationError:
+                    if assume_definite is True:
+                        raise
+            try:
+                return done(SuperLUFactorization(g, monitor=monitor))
+            except FactorizationError as exc:
+                if assume_definite is True:
+                    raise
+                if n > _DENSE_LIMIT:
+                    raise FactorizationError(
+                        f"sparse LDL^T failed for size {n} ({exc}) and "
+                        "the matrix is too large for the dense fallback; "
+                        "use a different expansion shift or "
+                        + sparse_alternatives()
+                    ) from exc
+        else:
+            try:
+                if is_sparse and n > 200:
+                    return done(
+                        CholeskyFactorization(
+                            sparse_cholesky(_as_csc(g), monitor=monitor)
+                        )
+                    )
                 return done(
-                    CholeskyFactorization(
-                        sparse_cholesky(sp.csc_matrix(g), monitor=monitor)
+                    DenseCholeskyFactorization(
+                        dense_cholesky(to_dense(), monitor=monitor)
                     )
                 )
-            return done(
-                DenseCholeskyFactorization(
-                    dense_cholesky(to_dense(), monitor=monitor)
-                )
-            )
-        except FactorizationError:
-            if assume_definite is True:
-                raise
+            except FactorizationError:
+                if assume_definite is True:
+                    raise
+    elif scalable:
+        # known-indefinite but sparse and large: SuperLU's diagonal
+        # LDL^T is the only scalable option before the dense fallback
+        try:
+            return done(SuperLUFactorization(g, monitor=monitor))
+        except FactorizationError as exc:
+            if n > _DENSE_LIMIT:
+                raise FactorizationError(
+                    f"sparse LDL^T failed for size {n} ({exc}) and the "
+                    "matrix is too large for the dense fallback; use a "
+                    "different expansion shift or " + sparse_alternatives()
+                ) from exc
     return done(
         LDLTDenseFactorization(to_dense(), engine="scipy", monitor=monitor)
     )

@@ -72,7 +72,12 @@ class LanczosOperator:
         return self._fact.solve_j(self.reduced_input())
 
     def apply(self, v: np.ndarray) -> np.ndarray:
-        """Compute ``K v = J^{-1} M^{-1} C M^{-T} v`` (step 3a)."""
+        """Compute ``K v = J^{-1} M^{-1} C M^{-T} v`` (step 3a).
+
+        ``v`` may be a vector or an ``N x k`` block: every backend's
+        triangular solves take matrix right-hand sides, so a block costs
+        one solve pass instead of ``k`` -- the blocked Lanczos loop
+        (``LanczosOptions.block_size``) relies on this."""
         t = self._fact.solve_mt(np.asarray(v))
         t = self._c @ t
         t = self._fact.solve_m(t)

@@ -62,12 +62,28 @@ def _pseudo_peripheral(adjacency: list[list[int]], start: int) -> int:
         node, ecc = last, new_ecc
 
 
+#: above this size the from-scratch BFS (python lists of neighbor sets)
+#: dominates the factorization it is meant to accelerate; hand off to
+#: the compiled csgraph implementation instead
+_CSGRAPH_LIMIT = 1500
+
+
 def rcm_ordering(a: sp.spmatrix) -> np.ndarray:
     """Reverse Cuthill-McKee permutation of the pattern of ``a``.
 
     Returns ``perm`` such that ``a[perm][:, perm]`` has small bandwidth;
-    handles disconnected patterns component by component.
+    handles disconnected patterns component by component.  Above
+    ``_CSGRAPH_LIMIT`` unknowns the permutation comes from
+    :func:`scipy.sparse.csgraph.reverse_cuthill_mckee` (same algorithm,
+    compiled), keeping the ordering cost O(nnz) on large nets.
     """
+    if a.shape[0] > _CSGRAPH_LIMIT:
+        from scipy.sparse import csgraph
+
+        perm = csgraph.reverse_cuthill_mckee(
+            sp.csr_matrix(a), symmetric_mode=True
+        )
+        return np.asarray(perm, dtype=np.intp)
     adjacency = adjacency_lists(a)
     n = len(adjacency)
     degree = [len(nb) for nb in adjacency]

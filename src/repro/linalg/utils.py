@@ -27,7 +27,10 @@ def checked_splu(matrix, rtol: float = 1e-8):
 
     from repro.errors import FactorizationError
 
-    csc = sp.csc_matrix(matrix)
+    if sp.issparse(matrix) and matrix.format == "csc":
+        csc = matrix  # already CSC: no conversion copy
+    else:
+        csc = sp.csc_matrix(matrix)
     try:
         lu = spla.splu(csc)
     except RuntimeError as exc:
@@ -35,17 +38,22 @@ def checked_splu(matrix, rtol: float = 1e-8):
     n = csc.shape[0]
     probe = np.cos(np.arange(1, n + 1))  # deterministic, no zero entries
     x = lu.solve(probe)
-    if not np.all(np.isfinite(x)):
-        raise FactorizationError("matrix is numerically singular (inf/nan solve)")
     # a (near-)singular matrix amplifies the probe beyond any plausible
     # conditioning: ||x|| * ||A|| / ||probe|| ~ condition number
-    amplification = (
-        float(np.abs(x).max()) * float(np.abs(csc).max()) / float(np.abs(probe).max())
-    )
-    if amplification > 1.0 / rtol**1.5:
+    if not np.all(np.isfinite(x)):
+        amplification = float("inf")
+    else:
+        amplification = (
+            float(np.abs(x).max())
+            * float(np.abs(csc).max())
+            / float(np.abs(probe).max())
+        )
+    threshold = 1.0 / rtol**1.5
+    if amplification > threshold:
         raise FactorizationError(
-            f"matrix is numerically singular "
-            f"(solve amplification {amplification:.2e})"
+            f"matrix is numerically singular (solve amplification "
+            f"{amplification:.2e} exceeds the conditioning threshold "
+            f"{threshold:.2e} for rtol={rtol:g})"
         )
     return lu
 

@@ -60,6 +60,7 @@ __all__ = [
     "RecoveryReport",
     "RecoveryPolicy",
     "PerturbedRestartPolicy",
+    "FactorizationFallbackPolicy",
     "ShiftRegularizationPolicy",
     "OrderBackoffPolicy",
     "EngineFallbackPolicy",
@@ -84,6 +85,7 @@ class AttemptSpec:
     policy: str = "initial"
     note: str = ""
     perturb_seed: int | None = None
+    factor_method: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -98,6 +100,7 @@ class RecoveryAttempt:
     error_class: str | None = None
     error: str | None = None
     note: str = ""
+    factor_method: str = "auto"
 
     def to_dict(self) -> dict:
         return _jsonify(
@@ -110,6 +113,7 @@ class RecoveryAttempt:
                 "error_class": self.error_class,
                 "error": self.error,
                 "note": self.note,
+                "factor_method": self.factor_method,
             }
         )
 
@@ -194,7 +198,73 @@ class PerturbedRestartPolicy(RecoveryPolicy):
             note=f"starting block perturbed (eps={self.eps:g}, "
             f"seed={self.uses})",
             perturb_seed=self.uses,
+            factor_method=spec.factor_method,
         )
+
+
+class FactorizationFallbackPolicy(RecoveryPolicy):
+    """Factorization failure -> next backend in the factorization ladder.
+
+    Cheaper than shift regularization (the expansion point -- and hence
+    the matched moments -- stays put; only the ``G = M J M^T`` backend
+    changes), so it runs first when an *explicitly pinned* backend
+    fails.  With ``factor_method="auto"`` the facade already traverses
+    its internal ladder, so this policy stays silent and the shift
+    repair takes over.
+
+    The ladder is ``cholmod -> superlu -> sparse-cholesky -> ldlt ->
+    auto``, filtered by availability (CHOLMOD needs scikit-sparse) and
+    by the dense-size limit for the LDLT fallback.
+    """
+
+    name = "factorization-fallback"
+
+    _LADDER = ("cholmod", "superlu", "sparse-cholesky", "ldlt", "auto")
+
+    def __init__(self):
+        self.tried: set[str] = set()
+
+    def _is_factorization_failure(self, exc: ReproError) -> bool:
+        if isinstance(exc, FactorizationError):
+            return True
+        return isinstance(exc, ReductionError) and "factor" in str(exc)
+
+    def propose(self, spec, exc, context):
+        from repro.linalg.factorization import (
+            _DENSE_LIMIT,
+            cholmod_available,
+            resolve_factor_method,
+        )
+
+        if not self._is_factorization_failure(exc):
+            return None
+        if spec.engine == "arnoldi":
+            return None
+        current = resolve_factor_method(spec.factor_method)
+        if current == "auto":
+            return None
+        self.tried.add(current)
+        size = context.system.size
+        for candidate in self._LADDER:
+            if candidate in self.tried:
+                continue
+            if candidate == "cholmod" and not cholmod_available():
+                continue
+            if (
+                candidate in ("ldlt", "ldlt-python", "dense-cholesky")
+                and size > _DENSE_LIMIT
+            ):
+                continue
+            self.tried.add(candidate)
+            return AttemptSpec(
+                engine=spec.engine,
+                order=spec.order,
+                shift=spec.shift,
+                policy=self.name,
+                note=f"factorization backend {current} -> {candidate}",
+                factor_method=candidate,
+            )
+        return None
 
 
 class ShiftRegularizationPolicy(RecoveryPolicy):
@@ -230,6 +300,7 @@ class ShiftRegularizationPolicy(RecoveryPolicy):
             policy=self.name,
             note=f"shift regularized to sigma0={new_shift:.4g} "
             f"(backoff {self.uses}/{self.max_uses})",
+            factor_method=spec.factor_method,
         )
 
 
@@ -258,6 +329,7 @@ class OrderBackoffPolicy(RecoveryPolicy):
             shift=spec.shift,
             policy=self.name,
             note=f"order backed off {spec.order} -> {new_order}",
+            factor_method=spec.factor_method,
         )
 
 
@@ -287,6 +359,7 @@ class EngineFallbackPolicy(RecoveryPolicy):
             shift=spec.shift,
             policy=self.name,
             note=f"engine fallback {spec.engine} -> {engine}",
+            factor_method=spec.factor_method,
         )
 
 
@@ -294,6 +367,7 @@ def default_policies(fallback: str = "arnoldi") -> list[RecoveryPolicy]:
     """The standard ladder, ordered cheapest repair first."""
     return [
         PerturbedRestartPolicy(),
+        FactorizationFallbackPolicy(),
         ShiftRegularizationPolicy(),
         OrderBackoffPolicy(),
         EngineFallbackPolicy(),
@@ -445,7 +519,9 @@ def robust_reduce(
         system=system, requested_order=order, fallback=fallback
     )
     report = RecoveryReport()
-    spec = AttemptSpec(engine="sympvl", order=order, shift=shift)
+    spec = AttemptSpec(
+        engine="sympvl", order=order, shift=shift, factor_method=factor_method
+    )
     retries = 0
 
     def build_hooks(current: AttemptSpec):
@@ -483,7 +559,7 @@ def robust_reduce(
                     spec.order,
                     shift=spec.shift,
                     options=options,
-                    factor_method=factor_method,
+                    factor_method=spec.factor_method,
                     monitor=monitor,
                     factor_fn=factor_fn,
                     operator_wrapper=wrapper,
@@ -500,6 +576,7 @@ def robust_reduce(
                     error_class=type(exc).__name__,
                     error=str(exc),
                     note=spec.note,
+                    factor_method=spec.factor_method,
                 )
             )
             monitor.record(
@@ -532,6 +609,7 @@ def robust_reduce(
                 order=next_spec.order,
                 shift=str(next_spec.shift),
                 note=next_spec.note,
+                factor_method=next_spec.factor_method,
             )
             spec = next_spec
             continue
@@ -546,6 +624,7 @@ def robust_reduce(
             shift=str(spec.shift),
             succeeded=True,
             note=spec.note,
+            factor_method=spec.factor_method,
         )
     )
 

@@ -169,6 +169,25 @@ def _normalize_sections(
     kept = [s for s in converted if s.kind != "origin"]
     r_values = [abs(s.resistance) for s in kept]
     r_ref = max(r_values) if r_values else 0.0
+
+    # Two more roundoff degeneracies, both harmless to the response but
+    # fatal to the synthesized netlist's conditioning:
+    #
+    # * a section whose |r| is negligible against the dominant sections
+    #   contributes at most |r| to the series impedance (for an RC pole
+    #   ``|1 + j omega tau| >= 1``) yet stamps a near-short branch
+    #   conductance ``1/r`` into the MNA -- drop it;
+    # * a section whose ``tau`` is at roundoff scale against the band
+    #   (``|tau| * sigma0 <~ eps``) realizes as an eps-level, possibly
+    #   *negative*, parallel capacitor -- snap it to a pure resistor.
+    regularized: list[FosterSection] = []
+    for section in kept:
+        if r_ref > 0.0 and abs(section.resistance) <= 1e-12 * r_ref:
+            continue
+        if abs(section.tau) * sigma0 <= 1e-16:
+            section = FosterSection(section.resistance, 0.0)
+        regularized.append(section)
+    kept = regularized
     if origin_total != 0.0 and (
         r_ref == 0.0 or abs(origin_total) / sigma0 > 1e-12 * r_ref
     ):

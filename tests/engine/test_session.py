@@ -97,6 +97,39 @@ class TestEngineSession:
         assert monitor.by_category("engine.compile")
 
 
+class TestFactorizationCacheKey:
+    def test_explicit_backend_changes_key(self, rc_two_port_system):
+        engine = Engine()
+        engine.reduce(rc_two_port_system, 8)
+        assert engine.cache.stats.misses == 1
+        # a different effective backend must not hit the auto entry
+        engine.reduce(rc_two_port_system, 8, factor_method="superlu")
+        assert engine.cache.stats.misses == 2
+        engine.reduce(rc_two_port_system, 8, factor_method="superlu")
+        assert engine.cache.stats.hits == 1
+
+    def test_env_override_changes_key(self, rc_two_port_system, monkeypatch):
+        engine = Engine()
+        monkeypatch.delenv("REPRO_FACTORIZATION", raising=False)
+        engine.reduce(rc_two_port_system, 8)
+        monkeypatch.setenv("REPRO_FACTORIZATION", "superlu")
+        engine.reduce(rc_two_port_system, 8)
+        assert engine.cache.stats.misses == 2
+
+    def test_env_and_explicit_share_one_entry(
+        self, rc_two_port_system, monkeypatch
+    ):
+        # the key holds the *resolved* backend, so pinning via argument
+        # and pinning via environment address the same cache entry
+        engine = Engine()
+        monkeypatch.delenv("REPRO_FACTORIZATION", raising=False)
+        engine.reduce(rc_two_port_system, 8, factor_method="superlu")
+        monkeypatch.setenv("REPRO_FACTORIZATION", "superlu")
+        engine.reduce(rc_two_port_system, 8)
+        assert engine.cache.stats.hits == 1
+        assert engine.cache.stats.misses == 1
+
+
 class TestSweepCommand:
     def test_basic_sweep(self, netlist_file, capsys):
         rc = main([

@@ -6,7 +6,14 @@ import scipy.sparse as sp
 
 import repro
 from repro.errors import FactorizationError
-from repro.linalg.factorization import factor_symmetric
+from repro.linalg.factorization import (
+    FACTORIZATION_METHODS,
+    SuperLUFactorization,
+    cholmod_available,
+    factor_symmetric,
+    resolve_factor_method,
+)
+from repro.robustness import HealthMonitor
 
 
 def reconstruct_g(fact, n):
@@ -24,10 +31,29 @@ def spd_sparse(n, seed=0):
     return sp.csc_matrix(a @ a.T + n * np.eye(n))
 
 
+def indefinite_diag_dominant(n, seed=4):
+    """Indefinite but diagonally pivotable: mixed-sign dominant diagonal."""
+    rng = np.random.default_rng(seed)
+    signs = rng.choice([-3.0, 5.0], size=n)
+    off = sp.diags([np.full(n - 1, 0.1), np.full(n - 1, 0.1)], [1, -1])
+    return sp.csc_matrix(sp.diags(signs) + off)
+
+
+def singular_chain_laplacian(n=12):
+    """PSD singular (constant-vector null space)."""
+    g = sp.diags(
+        [np.full(n - 1, -1.0), np.full(n, 2.0), np.full(n - 1, -1.0)],
+        [-1, 0, 1],
+    ).tolil()
+    g[0, 0] = 1.0
+    g[-1, -1] = 1.0
+    return g.tocsc()
+
+
 class TestMethods:
     @pytest.mark.parametrize(
         "method",
-        ["sparse-cholesky", "dense-cholesky", "ldlt", "ldlt-python"],
+        ["sparse-cholesky", "dense-cholesky", "ldlt", "ldlt-python", "superlu"],
     )
     def test_reconstruction(self, method):
         g = spd_sparse(18, seed=1)
@@ -101,7 +127,173 @@ class TestAuto:
         with pytest.raises(FactorizationError):
             factor_symmetric(g.tocsc())
 
-    def test_dense_limit_enforced(self):
-        big = sp.eye(7000, format="csc") * -1.0  # indefinite, too big for dense
-        with pytest.raises(FactorizationError, match="too large"):
-            factor_symmetric(big)
+    def test_dense_limit_error_is_actionable(self):
+        # forcing a dense method on an over-limit matrix must name the
+        # sparse alternatives and the environment override
+        big = sp.eye(7000, format="csc") * -1.0
+        with pytest.raises(FactorizationError, match="too large") as info:
+            factor_symmetric(big, method="ldlt")
+        message = str(info.value)
+        assert "superlu" in message
+        assert "REPRO_FACTORIZATION" in message
+
+    def test_large_indefinite_now_handled_by_superlu(self):
+        # pre-scalable-tier behavior was a dead-end "too large" error;
+        # diagonally pivotable indefinite matrices now factor via SuperLU
+        big = sp.eye(7000, format="csc") * -1.0
+        fact = factor_symmetric(big)
+        assert fact.method == "superlu"
+        assert not fact.j_is_identity
+
+    def test_auto_prefers_scalable_tier_above_threshold(self):
+        g = grid_laplacian(50)  # 2500 > _SCALABLE_LIMIT
+        fact = factor_symmetric(g)
+        assert fact.method in ("superlu", "cholmod")
+
+    def test_env_override_changes_selection(self, monkeypatch):
+        g = grid_laplacian(50)
+        monkeypatch.setenv("REPRO_FACTORIZATION", "sparse-cholesky")
+        fact = factor_symmetric(g)
+        assert fact.method == "sparse-cholesky"
+
+    def test_env_override_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FACTORIZATION", "bogus")
+        with pytest.raises(FactorizationError, match="REPRO_FACTORIZATION"):
+            factor_symmetric(spd_sparse(10))
+
+    def test_explicit_method_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FACTORIZATION", "superlu")
+        fact = factor_symmetric(spd_sparse(10), method="dense-cholesky")
+        assert fact.method == "dense-cholesky"
+
+
+def grid_laplacian(k, shift=1e-3):
+    """SPD 5-point grid Laplacian on a k x k mesh."""
+    n = k * k
+    ones = np.ones(n)
+    g = (
+        sp.diags(4.0 * ones)
+        - sp.diags([np.ones(n - 1), np.ones(n - 1)], [1, -1])
+        - sp.diags([np.ones(n - k), np.ones(n - k)], [k, -k])
+    )
+    return sp.csc_matrix(g + shift * sp.eye(n))
+
+
+class TestResolveFactorMethod:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FACTORIZATION", "cholmod")
+        assert resolve_factor_method("superlu") == "superlu"
+
+    def test_auto_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FACTORIZATION", "superlu")
+        assert resolve_factor_method("auto") == "superlu"
+        assert resolve_factor_method(None) == "superlu"
+
+    def test_auto_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FACTORIZATION", raising=False)
+        assert resolve_factor_method("auto") == "auto"
+
+    def test_methods_tuple_covers_known_backends(self):
+        for name in ("superlu", "cholmod", "sparse-cholesky", "auto"):
+            assert name in FACTORIZATION_METHODS
+
+
+class TestSuperLU:
+    def test_definite_j_identity_and_monitor_event(self):
+        monitor = HealthMonitor()
+        g = spd_sparse(40, seed=7)
+        fact = factor_symmetric(g, method="superlu", monitor=monitor)
+        assert fact.method == "superlu"
+        assert fact.j_is_identity
+        events = monitor.by_category("factor.method")
+        assert events and events[-1].data["method"] == "superlu"
+        assert events[-1].data["j_identity"] is True
+        pivots = monitor.by_category("factor.pivots")
+        assert pivots and pivots[-1].data["method"] == "superlu"
+
+    def test_indefinite_diagonal_pivoting(self):
+        g = indefinite_diag_dominant(60)
+        fact = factor_symmetric(g, method="superlu")
+        assert not fact.j_is_identity
+        recon = reconstruct_g(fact, 60)
+        assert np.abs(recon - g.toarray()).max() < 1e-10 * np.abs(g.toarray()).max()
+
+    def test_indefinite_needing_2x2_pivots_raises(self):
+        # shifted RLC MNA needs Bunch-Kaufman 2x2 pivots: the symmetric
+        # diagonal-pivot order cannot hold and the backend must say so
+        g = repro.assemble_mna(repro.rlc_line(6), "mna").shifted_g(1e9)
+        with pytest.raises(FactorizationError, match="symmetric pivot"):
+            factor_symmetric(g.tocsc(), method="superlu")
+
+    def test_singular_raises(self):
+        monitor = HealthMonitor()
+        with pytest.raises(FactorizationError, match="singular"):
+            factor_symmetric(
+                singular_chain_laplacian(), method="superlu", monitor=monitor
+            )
+        failures = monitor.by_category("factor.failure")
+        assert failures and failures[-1].data["method"] == "superlu"
+
+    def test_block_and_column_solves_agree(self):
+        g = grid_laplacian(20)
+        fact = SuperLUFactorization(g)
+        rng = np.random.default_rng(0)
+        block = rng.standard_normal((g.shape[0], 6))
+        for op in (fact.solve_m, fact.solve_mt, fact.solve):
+            full = op(block)
+            assert full.shape == block.shape
+            for col in range(block.shape[1]):
+                assert np.allclose(full[:, col], op(block[:, col]), atol=1e-12)
+
+    def test_solve_matches_direct(self):
+        g = grid_laplacian(25)
+        fact = SuperLUFactorization(g)
+        b = np.cos(np.arange(g.shape[0], dtype=float))
+        x = fact.solve(b)
+        assert np.linalg.norm(g @ x - b) < 1e-10 * np.linalg.norm(b)
+
+
+class TestCholmod:
+    def test_unavailable_raises_actionable_error(self):
+        if cholmod_available():
+            pytest.skip("scikit-sparse installed: unavailability not testable")
+        with pytest.raises(FactorizationError, match="scikit-sparse"):
+            factor_symmetric(spd_sparse(10), method="cholmod")
+
+    @pytest.mark.skipif(
+        not cholmod_available(), reason="needs scikit-sparse"
+    )
+    def test_definite_reconstruction_and_event(self):
+        monitor = HealthMonitor()
+        g = spd_sparse(40, seed=9)
+        fact = factor_symmetric(g, method="cholmod", monitor=monitor)
+        assert fact.method == "cholmod"
+        assert fact.j_is_identity
+        recon = reconstruct_g(fact, 40)
+        assert np.abs(recon - g.toarray()).max() < 1e-8 * np.abs(g.toarray()).max()
+        events = monitor.by_category("factor.method")
+        assert events and events[-1].data["method"] == "cholmod"
+
+    @pytest.mark.skipif(
+        not cholmod_available(), reason="needs scikit-sparse"
+    )
+    def test_indefinite_raises(self):
+        with pytest.raises(FactorizationError, match="positive definite"):
+            factor_symmetric(
+                indefinite_diag_dominant(30), method="cholmod"
+            )
+
+
+class TestPerMethodSingular:
+    @pytest.mark.parametrize(
+        "method",
+        ["sparse-cholesky", "dense-cholesky", "ldlt", "ldlt-python", "superlu"],
+    )
+    def test_singular_input_raises(self, method):
+        with pytest.raises(FactorizationError):
+            factor_symmetric(singular_chain_laplacian(), method=method)
+
+    @pytest.mark.parametrize("method", ["sparse-cholesky", "dense-cholesky"])
+    def test_indefinite_input_raises_for_cholesky(self, method):
+        with pytest.raises(FactorizationError):
+            factor_symmetric(indefinite_diag_dominant(20), method=method)

@@ -8,6 +8,7 @@ these tests exercise exactly the code a production failure would.
 import pytest
 
 import repro
+from repro.core.lanczos import LanczosOptions
 from repro.errors import BreakdownError, ReproError
 from repro.robustness import (
     FaultPlan,
@@ -166,11 +167,19 @@ class TestGenuineIncurableBreakdown:
     def test_random_rlc_truncates_without_injection(self):
         # regression companion to the injected faults: a real incurable
         # breakdown (same system as tests/core/test_lanczos.py) must be
-        # recorded by the monitor with reason="incurable"
+        # recorded by the monitor with reason="incurable".  block_size=1
+        # pins the immediate-generation schedule where the dangling
+        # cluster survives to termination; the blocked default deflates
+        # the defective direction early instead (checked below).
         net = repro.random_passive("RLC", 8, seed=3120, n_ports=2)
         system = repro.assemble_mna(net)
         monitor = HealthMonitor()
-        model = repro.sympvl(system, system.size, monitor=monitor)
+        model = repro.sympvl(
+            system,
+            system.size,
+            monitor=monitor,
+            options=LanczosOptions(block_size=1),
+        )
         health = monitor.report()
         incurable = [
             b for b in health.breakdowns if b.get("reason") == "incurable"
@@ -178,6 +187,19 @@ class TestGenuineIncurableBreakdown:
         assert incurable, "expected an incurable-breakdown truncation event"
         assert model.order < system.size
         assert not health.healthy
+
+    def test_random_rlc_blocked_default_stays_healthy(self):
+        # the blocked schedule meets the same defective direction as an
+        # early deflation, which is benign: same final order, no
+        # breakdown event
+        net = repro.random_passive("RLC", 8, seed=3120, n_ports=2)
+        system = repro.assemble_mna(net)
+        monitor = HealthMonitor()
+        model = repro.sympvl(system, system.size, monitor=monitor)
+        health = monitor.report()
+        assert not health.breakdowns
+        assert health.healthy
+        assert model.order < system.size
 
 
 class TestServiceFaultPlan:

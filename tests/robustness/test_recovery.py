@@ -16,6 +16,7 @@ from repro.robustness import FaultPlan, robust_reduce
 from repro.robustness.recovery import (
     AttemptSpec,
     EngineFallbackPolicy,
+    FactorizationFallbackPolicy,
     OrderBackoffPolicy,
     PerturbedRestartPolicy,
     RecoveryContext,
@@ -127,6 +128,72 @@ class TestEngineFallbackPolicy:
         policy = EngineFallbackPolicy()
         ctx = make_context(rc_system, fallback="none")
         assert policy.propose(SPEC, BreakdownError("b"), ctx) is None
+
+
+class TestFactorizationFallbackPolicy:
+    def test_walks_ladder_skipping_tried(self, rc_system):
+        policy = FactorizationFallbackPolicy()
+        ctx = make_context(rc_system)
+        err = FactorizationError("could not factor G")
+        spec = AttemptSpec(
+            engine="sympvl", order=8, shift="auto", factor_method="superlu"
+        )
+        out = policy.propose(spec, err, ctx)
+        assert out is not None
+        assert out.policy == "factorization-fallback"
+        # superlu is marked tried, cholmod is unavailable here: the next
+        # rung is sparse-cholesky
+        assert out.factor_method == "sparse-cholesky"
+        again = policy.propose(out, err, ctx)
+        assert again.factor_method == "ldlt"
+
+    def test_silent_for_auto_backend(self, rc_system):
+        # auto already traverses the facade's internal ladder
+        policy = FactorizationFallbackPolicy()
+        ctx = make_context(rc_system)
+        err = FactorizationError("could not factor G")
+        assert policy.propose(SPEC, err, ctx) is None
+
+    def test_ignores_non_factorization_errors(self, rc_system):
+        policy = FactorizationFallbackPolicy()
+        ctx = make_context(rc_system)
+        spec = AttemptSpec(
+            engine="sympvl", order=8, shift="auto", factor_method="superlu"
+        )
+        assert policy.propose(spec, BreakdownError("b"), ctx) is None
+
+    def test_in_default_ladder_before_shift_policy(self):
+        names = [p.name for p in default_policies()]
+        assert "factorization-fallback" in names
+        assert names.index("factorization-fallback") < names.index(
+            "regularize-shift"
+        )
+
+    def test_driver_recovers_pinned_backend(self):
+        # shifted RLC MNA needs 2x2 pivots: the pinned superlu backend
+        # fails, sparse-cholesky refuses the indefinite matrix, and the
+        # ladder lands on ldlt without moving the expansion shift
+        system = repro.assemble_mna(repro.rlc_line(6), "mna")
+        result = robust_reduce(system, 6, shift=1e9, factor_method="superlu")
+        assert result.report.recovered
+        attempts = result.report.attempts
+        winner = next(a for a in attempts if a.succeeded)
+        assert winner.policy == "factorization-fallback"
+        assert winner.factor_method == "ldlt"
+        methods = [
+            a.factor_method
+            for a in attempts
+            if a.policy in ("initial", "factorization-fallback")
+        ]
+        assert methods == ["superlu", "sparse-cholesky", "ldlt"]
+        # the shift never moved: the matched expansion point is intact
+        assert all(a.shift == "1000000000.0" for a in attempts[:3])
+
+    def test_attempt_dict_carries_factor_method(self):
+        system = repro.assemble_mna(repro.rlc_line(6), "mna")
+        result = robust_reduce(system, 6, shift=1e9, factor_method="superlu")
+        payload = result.report.to_dict()
+        assert payload["attempts"][0]["factor_method"] == "superlu"
 
 
 class TestRobustReduceDriver:

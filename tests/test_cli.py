@@ -93,6 +93,41 @@ class TestReduce:
         assert code == 0
 
 
+class TestFactorizationFlag:
+    def test_reduce_pins_backend(self, netlist_file, tmp_path, capsys):
+        diag = tmp_path / "diag.json"
+        code = main([
+            "reduce", str(netlist_file), "--order", "8",
+            "--factorization", "superlu", "--diagnostics", str(diag),
+        ])
+        assert code == 0
+        assert "factorization: superlu" in capsys.readouterr().out
+        events = json.loads(diag.read_text())["health"]["events"]
+        methods = [
+            e["data"]["method"]
+            for e in events
+            if e["category"] == "factor.method"
+        ]
+        assert methods == ["superlu"]
+
+    def test_reduce_rejects_unknown_backend(self, netlist_file, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "reduce", str(netlist_file), "--order", "8",
+                "--factorization", "qr",
+            ])
+        assert "--factorization" in capsys.readouterr().err
+
+    def test_sweep_accepts_backend(self, netlist_file, capsys):
+        code = main([
+            "sweep", str(netlist_file), "--order", "8",
+            "--band", "1e6", "1e10", "--points", "10",
+            "--factorization", "superlu",
+        ])
+        assert code == 0
+        assert "swept 10 points" in capsys.readouterr().out
+
+
 class TestExitCodes:
     """Every failure family maps to its documented exit code."""
 
