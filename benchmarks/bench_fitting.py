@@ -1,0 +1,171 @@
+"""FITTING -- vector-fit solver speed and accuracy on tabulated data.
+
+Measures, on an exact Z sweep of the lossy Fig. 2 PEEC testbed:
+
+* wall time of the QR-compressed per-response solver (``solver="fast"``,
+  Deschrijver 2008) vs the naive stacked least-squares solver
+  (``solver="naive"``) at identical options (threshold: >= 2x), and
+* the relaxed-VF fit error of both solvers against the tabulated sweep
+  (threshold: <= 1e-8), plus their mutual agreement.
+
+Writes ``benchmarks/BENCH_FITTING.json`` (the CI artifact) plus the
+usual human-readable report, and exits nonzero when a threshold is
+missed -- this is the fitting smoke gate of ``.github/workflows/ci.yml``.
+
+Usage::
+
+    python benchmarks/bench_fitting.py [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+import repro
+from repro.circuits import GROUND
+from repro.fitting import TouchstoneData, vector_fit
+from repro.simulation import ac_sweep
+
+from _util import save_report
+
+SPEEDUP_THRESHOLD = 2.0
+FIT_ERROR_THRESHOLD = 1e-8
+JSON_PATH = pathlib.Path(__file__).parent / "BENCH_FITTING.json"
+
+
+def build_table(quick: bool) -> TouchstoneData:
+    """Exact Z sweep of the lossy Fig. 2 PEEC two-port (the same
+    construction as the committed ``tests/data/peec30_fig2.s2p``
+    golden file, scaled up outside ``--quick``)."""
+    n_cells = 30 if quick else 60
+    points = 120 if quick else 240
+    net = repro.peec_like_lc(n_cells, seed=7)
+    net.port("sense", f"p{n_cells}")
+    for k in range(n_cells + 1):
+        net.resistor(f"Rg{k}", f"p{k}", GROUND, 2.0e3)
+    system = repro.assemble_mna(net)
+    f = np.logspace(7.5, 9.2, points)
+    exact = ac_sweep(system, 1j * 2 * np.pi * f)
+    return TouchstoneData(
+        frequency_hz=f,
+        matrices=exact.z,
+        parameter="Z",
+        port_names=list(exact.port_names),
+    )
+
+
+def best_of(repeats, fn):
+    """Minimum wall time over ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure(data: TouchstoneData, num_poles: int, repeats: int):
+    s = data.s_values
+    h = data.in_domain("Z")
+
+    def fit(solver):
+        return vector_fit(s, h, num_poles=num_poles, solver=solver)
+
+    fast_s, fast = best_of(repeats, lambda: fit("fast"))
+    naive_s, naive = best_of(repeats, lambda: fit("naive"))
+
+    scale = float(np.abs(h).max())
+    agreement = float(
+        np.abs(fast.matrices(s) - naive.matrices(s)).max() / scale
+    )
+    return {
+        "num_poles": num_poles,
+        "points": data.num_points,
+        "ports": data.num_ports,
+        "fast": {
+            "total_s": fast_s,
+            "error": fast.report.error,
+            "iterations": fast.report.iterations,
+        },
+        "naive": {
+            "total_s": naive_s,
+            "error": naive.report.error,
+            "iterations": naive.report.iterations,
+        },
+        "speedup": naive_s / fast_s,
+        "fast_vs_naive_rel": agreement,
+    }
+
+
+def run(quick: bool, json_path: pathlib.Path) -> int:
+    data = build_table(quick)
+    num_poles = 40 if quick else 60
+    stats = measure(data, num_poles, repeats=3 if quick else 5)
+
+    checks = {
+        "fast_speedup_ge_2x": stats["speedup"] >= SPEEDUP_THRESHOLD,
+        "fast_fit_error_le_1e-8": (
+            stats["fast"]["error"] <= FIT_ERROR_THRESHOLD
+        ),
+        "naive_fit_error_le_1e-8": (
+            stats["naive"]["error"] <= FIT_ERROR_THRESHOLD
+        ),
+        "solvers_agree_1e-6": stats["fast_vs_naive_rel"] <= 1e-6,
+    }
+    payload = {
+        "experiment": "FITTING",
+        "testbed": (
+            f"fig2-peec lossy (p={stats['ports']}, "
+            f"m={stats['points']} points)"
+        ),
+        "quick": quick,
+        "thresholds": {
+            "speedup": SPEEDUP_THRESHOLD, "error": FIT_ERROR_THRESHOLD,
+        },
+        "fit": stats,
+        "checks": checks,
+        "pass": all(checks.values()),
+    }
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "FITTING: fast vs naive vector-fit solver (lossy Fig. 2 sweep)",
+        f"  table: p = {stats['ports']}, m = {stats['points']} points, "
+        f"n = {stats['num_poles']} poles"
+        + (" [quick]" if quick else ""),
+        f"  fast:  {stats['fast']['total_s'] * 1e3:8.1f} ms, "
+        f"error {stats['fast']['error']:.2e} "
+        f"({stats['fast']['iterations']} iterations)",
+        f"  naive: {stats['naive']['total_s'] * 1e3:8.1f} ms, "
+        f"error {stats['naive']['error']:.2e} "
+        f"({stats['naive']['iterations']} iterations)",
+        f"  solver speedup: {stats['speedup']:.1f}x "
+        f"(threshold {SPEEDUP_THRESHOLD:.0f}x)",
+        f"  fast-vs-naive rel difference: "
+        f"{stats['fast_vs_naive_rel']:.2e}",
+        f"  checks: {checks}",
+        f"  [json written to {json_path}]",
+    ]
+    save_report("FITTING", "\n".join(lines))
+    return 0 if payload["pass"] else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller testbed (CI smoke job)")
+    parser.add_argument("--json", type=pathlib.Path, default=JSON_PATH,
+                        help=f"output JSON path (default {JSON_PATH})")
+    args = parser.parse_args(argv)
+    return run(args.quick, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,6 +84,16 @@ from repro.engine import (
     compile_model,
     parallel_ac_sweep,
 )
+from repro.fitting import (
+    FittedModel,
+    TouchstoneData,
+    assess_passivity,
+    enforce_model_passivity,
+    fit_touchstone,
+    read_touchstone,
+    vector_fit,
+    write_touchstone,
+)
 from repro.io import load_model, save_model
 from repro.robustness import (
     FaultPlan,
@@ -101,6 +111,7 @@ from repro.synthesis import (
     stamp_reduced_model,
     synthesize_cauer,
     synthesize_foster,
+    synthesize_fitted,
     synthesize_foster_lc,
     synthesize_rc,
 )
@@ -170,9 +181,19 @@ __all__ = [
     "cauer_elements",
     "stamp_reduced_model",
     "StampedSystem",
+    "synthesize_fitted",
     "merge_netlists",
     "save_model",
     "load_model",
+    # fitting (tabulated data)
+    "FittedModel",
+    "TouchstoneData",
+    "read_touchstone",
+    "write_touchstone",
+    "vector_fit",
+    "fit_touchstone",
+    "assess_passivity",
+    "enforce_model_passivity",
     # engine (serving layer)
     "Engine",
     "CompiledModel",

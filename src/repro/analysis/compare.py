@@ -12,6 +12,7 @@ __all__ = [
     "frequency_error",
     "transient_error",
     "crossover_order",
+    "per_port_max_rel",
     "compare_sweeps",
 ]
 
@@ -72,28 +73,69 @@ def crossover_order(orders: list[int], errors: list[float], target: float) -> in
     return None
 
 
+def per_port_max_rel(approx: np.ndarray, exact: np.ndarray) -> dict[str, float]:
+    """Entry-wise :func:`max_relative_error`, keyed ``"(i,j)"``.
+
+    Each ``(i, j)`` matrix entry is normalized by its *own* maximum
+    magnitude over the sweep, so a weakly coupled transfer term is
+    judged on its own scale instead of being drowned by the dominant
+    driving-point entries.
+    """
+    approx = np.asarray(approx)
+    exact = np.asarray(exact)
+    if approx.ndim != 3 or approx.shape != exact.shape:
+        raise ValueError("per-port errors need matching (m, p, p) sweeps")
+    out: dict[str, float] = {}
+    for i in range(exact.shape[1]):
+        for j in range(exact.shape[2]):
+            out[f"({i},{j})"] = max_relative_error(
+                approx[:, i, j], exact[:, i, j]
+            )
+    return out
+
+
 def compare_sweeps(
     system,
     models,
-    s_values: np.ndarray,
+    s_values: np.ndarray | None = None,
     *,
     engine=None,
     workers: int | None = None,
     labels: list[str] | None = None,
 ) -> dict:
-    """Sweep the exact system and each reduced model on one grid.
+    """Sweep the exact reference and each model on one grid.
 
-    The exact reference runs through the engine's parallel executor
-    (one worker-chunk per process when ``workers > 1``); every reduced
-    model is compiled once to pole-residue form and evaluated as a
-    batched broadcast sum.  Returns ``{"exact": FrequencyResponse,
-    "models": [{"label", "response", "max_rel", "rms_db"}, ...]}``.
+    ``system`` may be an assembled circuit (swept exactly through the
+    engine's parallel executor), an already-computed
+    :class:`~repro.simulation.results.FrequencyResponse`, or a
+    tabulated :class:`~repro.fitting.TouchstoneData` sweep -- the
+    latter two are used verbatim as the reference (and supply
+    ``s_values`` when it is omitted).  ``models`` may mix reduced-order
+    and fitted models; each is compiled once and evaluated as a batched
+    broadcast sum.  Returns ``{"exact": FrequencyResponse, "models":
+    [{"label", "response", "max_rel", "rms_db", "per_port"}, ...]}``.
     """
     from repro.engine import Engine
 
     eng = engine or Engine(workers=workers)
-    s_values = np.atleast_1d(np.asarray(s_values)).ravel()
-    exact = eng.sweep(system, s_values, workers=workers, label="exact")
+    if hasattr(system, "in_domain"):  # TouchstoneData table
+        system = system.to_response(label="exact")
+    if isinstance(system, FrequencyResponse):
+        exact = system
+        if s_values is None:
+            s_values = exact.s
+        s_values = np.atleast_1d(np.asarray(s_values)).ravel()
+        if exact.s.shape != s_values.shape or not np.allclose(
+            exact.s, s_values
+        ):
+            raise ValueError(
+                "s_values disagrees with the tabulated reference grid"
+            )
+    else:
+        if s_values is None:
+            raise ValueError("s_values is required with a circuit reference")
+        s_values = np.atleast_1d(np.asarray(s_values)).ravel()
+        exact = eng.sweep(system, s_values, workers=workers, label="exact")
     entries = []
     for k, model in enumerate(models):
         label = (
@@ -105,5 +147,6 @@ def compare_sweeps(
             "label": label,
             "response": response,
             **frequency_error(response, exact),
+            "per_port": per_port_max_rel(response.z, exact.z),
         })
     return {"exact": exact, "models": entries, "engine": eng}

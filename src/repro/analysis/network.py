@@ -17,6 +17,8 @@ __all__ = [
     "y_to_z",
     "z_to_s",
     "s_to_z",
+    "y_to_s",
+    "s_to_y",
     "max_singular_value",
     "is_passive_scattering",
 ]
@@ -67,6 +69,34 @@ def s_to_z(s: np.ndarray, z0: float = 50.0) -> np.ndarray:
     out = np.empty_like(arr, dtype=complex)
     for k in range(arr.shape[0]):
         out[k] = z0 * (eye + arr[k]) @ np.linalg.inv(eye - arr[k])
+    return out[0] if scalar else out
+
+
+def y_to_s(y: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    """Scattering from admittance:
+    ``S = (I - z0 Y)(I + z0 Y)^{-1}`` (reference ``z0``)."""
+    if z0 <= 0:
+        raise ValueError("reference impedance must be positive")
+    arr, scalar = _per_point(y)
+    p = arr.shape[-1]
+    eye = np.eye(p)
+    out = np.empty_like(arr, dtype=complex)
+    for k in range(arr.shape[0]):
+        out[k] = (eye - z0 * arr[k]) @ np.linalg.inv(eye + z0 * arr[k])
+    return out[0] if scalar else out
+
+
+def s_to_y(s: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    """Admittance from scattering:
+    ``Y = (1/z0)(I - S)(I + S)^{-1}``."""
+    if z0 <= 0:
+        raise ValueError("reference impedance must be positive")
+    arr, scalar = _per_point(s)
+    p = arr.shape[-1]
+    eye = np.eye(p)
+    out = np.empty_like(arr, dtype=complex)
+    for k in range(arr.shape[0]):
+        out[k] = (eye - arr[k]) @ np.linalg.inv(eye + arr[k]) / z0
     return out[0] if scalar else out
 
 

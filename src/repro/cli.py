@@ -19,6 +19,14 @@
 
     python -m repro info input.sp
 
+    python -m repro fit measured.s2p --poles 24 --domain Z \
+        --enforce-passivity --model fitted.npz --spice fitted.sp
+
+    python -m repro touchstone info measured.s2p
+    python -m repro touchstone convert measured.s2p out.s2p --format RI
+    python -m repro touchstone export input.sp out.s2p \
+        --band 1e7 1e10 --points 200 --parameter Z
+
 ``sweep`` runs the compiled evaluation engine
 (:mod:`repro.engine`): the reduction is cached by content address
 (repeats are near-free with ``--cache-dir``), the model is compiled
@@ -43,6 +51,15 @@ factorizations, and failed passivity certificates are repaired
 automatically and every attempt is logged; ``--diagnostics`` dumps the
 full health / recovery report as JSON (on failure too).
 
+``fit`` runs the other direction: instead of reducing circuit
+equations it vector-fits a *tabulated* frequency sweep (a Touchstone
+``.sNp`` file) to a stable pole-residue macromodel
+(:mod:`repro.fitting`), optionally enforces passivity, and writes the
+same artifacts as ``reduce`` (a serialized ``.npz`` model, a
+synthesized SPICE netlist).  ``touchstone`` inspects, re-formats, and
+produces ``.sNp`` files (``export`` sweeps a netlist exactly and
+tabulates the result).
+
 Exit codes (documented in ``docs/ROBUSTNESS.md``)::
 
     0  success
@@ -53,6 +70,7 @@ Exit codes (documented in ``docs/ROBUSTNESS.md``)::
     5  factorization error
     6  simulation error
     7  I/O error (missing file, unwritable output)
+    8  fitting error (vector fit failed, malformed Touchstone file)
 """
 
 from __future__ import annotations
@@ -206,6 +224,82 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default 3)")
     # deterministic service fault injection; for the test harness
     serve.add_argument("--inject-fault", help=argparse.SUPPRESS)
+
+    fit = sub.add_parser(
+        "fit",
+        help="vector-fit a tabulated Touchstone sweep to a stable "
+        "pole-residue macromodel",
+    )
+    fit.add_argument("touchstone", help="input .sNp file (Touchstone v1)")
+    fit.add_argument("--poles", type=int, default=None, metavar="N",
+                     help="model order (default: chosen from the data)")
+    fit.add_argument("--real-poles", type=int, default=0, metavar="N",
+                     help="how many starting poles are real (default 0)")
+    fit.add_argument("--iterations", type=int, default=30, metavar="N",
+                     help="max pole-relocation iterations (default 30)")
+    fit.add_argument("--tol", type=float, default=1e-10,
+                     help="convergence tolerance on the max relative "
+                     "fit error (default 1e-10)")
+    fit.add_argument("--domain", choices=["S", "Y", "Z"], default=None,
+                     help="fit in this parameter domain (default: the "
+                     "file's own; conversion uses the reference "
+                     "impedance)")
+    fit.add_argument("--solver", choices=["fast", "naive"], default="fast",
+                     help="LS solver: per-response QR compression or "
+                     "the monolithic reference (default fast)")
+    fit.add_argument("--enforce-passivity", action="store_true",
+                     help="perturb residues until the Hamiltonian / "
+                     "half-size test reports a passive model")
+    fit.add_argument("--model", metavar="PATH",
+                     help="write the fitted model as .npz (io format v2)")
+    fit.add_argument("--spice", metavar="PATH",
+                     help="write a synthesized SPICE netlist "
+                     "(generalized Foster, one driving-point entry)")
+    fit.add_argument("--spice-port", metavar="NAME", default=None,
+                     help="which port's driving-point entry --spice "
+                     "synthesizes (default: only port; required for "
+                     "multi-ports)")
+    fit.add_argument("--report", metavar="PATH",
+                     help="write the fit + passivity report as JSON")
+
+    touchstone = sub.add_parser(
+        "touchstone", help="inspect, convert, or produce .sNp files"
+    )
+    ts_sub = touchstone.add_subparsers(dest="ts_command", required=True)
+    ts_info = ts_sub.add_parser("info", help="print file statistics")
+    ts_info.add_argument("file", help=".sNp file")
+    ts_convert = ts_sub.add_parser(
+        "convert", help="rewrite with a different format/unit/parameter"
+    )
+    ts_convert.add_argument("file", help="input .sNp file")
+    ts_convert.add_argument("out", help="output .sNp file")
+    ts_convert.add_argument("--format", choices=["RI", "MA", "DB"],
+                            default="RI", help="number format (default RI)")
+    ts_convert.add_argument("--unit",
+                            choices=["HZ", "KHZ", "MHZ", "GHZ"],
+                            default="HZ", help="frequency unit (default HZ)")
+    ts_convert.add_argument("--parameter", choices=["S", "Y", "Z"],
+                            default=None,
+                            help="convert to this parameter domain "
+                            "(default: keep the file's own)")
+    ts_export = ts_sub.add_parser(
+        "export", help="sweep a netlist exactly and tabulate it as .sNp"
+    )
+    ts_export.add_argument("netlist", help="SPICE-subset netlist file")
+    ts_export.add_argument("out", help="output .sNp file (port count "
+                           "must match the extension)")
+    ts_export.add_argument("--band", nargs=2, type=float, required=True,
+                           metavar=("W_LO", "W_HI"),
+                           help="sweep band [w_lo, w_hi] rad/s (log-spaced)")
+    ts_export.add_argument("--points", type=int, default=200,
+                           help="number of frequency points (default 200)")
+    ts_export.add_argument("--parameter", choices=["S", "Y", "Z"],
+                           default="Z",
+                           help="tabulated parameter domain (default Z)")
+    ts_export.add_argument("--z0", type=float, default=50.0,
+                           help="reference impedance in ohm (default 50)")
+    ts_export.add_argument("--workers", type=int, default=None, metavar="N",
+                           help="process-pool width for the exact sweep")
 
     generate = sub.add_parser(
         "generate", help="emit a synthetic benchmark circuit as a netlist"
@@ -514,6 +608,149 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.fitting import (
+        assess_passivity,
+        enforce_model_passivity,
+        fit_touchstone,
+        read_touchstone,
+    )
+
+    data = read_touchstone(args.touchstone)
+    print(f"read {args.touchstone}: {data.num_ports} port(s), "
+          f"{data.num_points} points, "
+          f"{data.frequency_hz.min():.4g}..{data.frequency_hz.max():.4g} Hz, "
+          f"parameter {data.parameter} (z0 = {data.z0:g} ohm)")
+
+    model = fit_touchstone(
+        data,
+        domain=args.domain,
+        num_poles=args.poles,
+        num_real=args.real_poles,
+        iterations=args.iterations,
+        tol=args.tol,
+        solver=args.solver,
+    )
+    report = model.report
+    print(f"fitted {model.order} poles ({model.num_real_poles} real) in "
+          f"{report.iterations} iteration(s), domain {model.parameter}: "
+          f"max rel error {report.error:.3e}"
+          + ("" if report.converged else " (NOT converged)"))
+
+    if args.enforce_passivity:
+        model = enforce_model_passivity(model)
+        passivity = model.metadata.get("passivity", {})
+        print(f"passivity enforced ({passivity.get('method', '?')}): "
+              f"passive = {passivity.get('passive')}, worst margin "
+              f"{passivity.get('worst_margin', float('nan')):.3e}, "
+              f"padding {passivity.get('padding', 0.0):.3e}, "
+              f"distortion {passivity.get('distortion', 0.0):.3e}")
+        from repro.analysis.compare import max_relative_error
+
+        post_error = max_relative_error(
+            model.matrices(data.s_values), data.in_domain(model.parameter)
+        )
+        print(f"max rel error vs the table after enforcement: "
+              f"{post_error:.3e}")
+        if post_error > max(100.0 * report.error, 1e-6):
+            print("warning: enforcement significantly distorted the fit "
+                  "(the violations were structural); consider more poles, "
+                  "a wider tabulated band, or fitting lossier data",
+                  file=sys.stderr)
+    elif model.parameter in ("Z", "Y"):
+        check = assess_passivity(model)
+        print(f"passivity check ({check.method}): passive = {check.passive}"
+              + ("" if check.passive else
+                 f", worst margin {check.worst_margin:.3e} "
+                 "(re-run with --enforce-passivity)"))
+
+    if args.model:
+        save_model(model, args.model)
+        print(f"model written to {args.model}")
+    if args.spice:
+        from repro.synthesis import synthesize_fitted
+
+        net = synthesize_fitted(model, port=args.spice_port)
+        with open(args.spice, "w") as handle:
+            handle.write(write_netlist(net))
+        print(f"synthesized netlist written to {args.spice}")
+    if args.report:
+        payload = {
+            "fit": report.as_dict(),
+            "parameter": model.parameter,
+            "z0": model.z0,
+            "port_names": list(model.port_names),
+            "passivity": model.metadata.get("passivity"),
+        }
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"fit report written to {args.report}")
+    return 0
+
+
+def _cmd_touchstone(args: argparse.Namespace) -> int:
+    from repro.fitting import TouchstoneData, read_touchstone, write_touchstone
+
+    if args.ts_command == "info":
+        data = read_touchstone(args.file)
+        table = Table(f"touchstone {args.file}", ["quantity", "value"])
+        table.row("ports", data.num_ports)
+        table.row("points", data.num_points)
+        table.row("parameter", data.parameter)
+        table.row("z0 (ohm)", data.z0)
+        table.row("f min (Hz)", f"{data.frequency_hz.min():.6g}")
+        table.row("f max (Hz)", f"{data.frequency_hz.max():.6g}")
+        table.row("comment lines", len(data.comments))
+        table.print()
+        return 0
+
+    if args.ts_command == "convert":
+        data = read_touchstone(args.file)
+        if args.parameter and args.parameter != data.parameter:
+            data = TouchstoneData(
+                frequency_hz=data.frequency_hz,
+                matrices=data.in_domain(args.parameter),
+                parameter=args.parameter,
+                z0=data.z0,
+                port_names=list(data.port_names),
+                comments=list(data.comments),
+            )
+        write_touchstone(args.out, data, fmt=args.format, unit=args.unit)
+        print(f"wrote {data.num_points} points as {data.parameter} "
+              f"{args.format} to {args.out}")
+        return 0
+
+    # export: exact netlist sweep -> tabulated .sNp
+    from repro.engine import Engine
+
+    with open(args.netlist) as handle:
+        net = parse_netlist(handle.read())
+    system = assemble_mna(net)
+    w_lo, w_hi = args.band
+    if not 0 < w_lo < w_hi:
+        raise ReproError("--band needs 0 < w_lo < w_hi")
+    s = 1j * np.logspace(np.log10(w_lo), np.log10(w_hi), args.points)
+    engine = Engine(workers=args.workers)
+    exact = engine.sweep(system, s, workers=args.workers)
+    data = TouchstoneData(
+        frequency_hz=s.imag / (2.0 * np.pi),
+        matrices=exact.z if args.parameter == "Z"
+        else TouchstoneData(
+            frequency_hz=s.imag / (2.0 * np.pi),
+            matrices=exact.z, parameter="Z", z0=args.z0,
+        ).in_domain(args.parameter),
+        parameter=args.parameter,
+        z0=args.z0,
+        port_names=list(exact.port_names),
+        comments=[f"exact sweep of {args.netlist}"],
+    )
+    write_touchstone(args.out, data)
+    print(f"swept {args.points} points "
+          f"({data.num_ports} port(s)) -> {args.out}")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.circuits import (
         coupled_rc_bus,
@@ -558,6 +795,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_cache(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "fit":
+            return _cmd_fit(args)
+        if args.command == "touchstone":
+            return _cmd_touchstone(args)
         if args.command == "generate":
             return _cmd_generate(args)
     except (ReproError, OSError) as exc:

@@ -219,10 +219,21 @@ class ReducedOrderModel:
         Eigenvalues negligible relative to ``||T||`` are zero up to
         roundoff; their modes are frequency-independent (no pole) and
         are excluded rather than mapped to spurious near-infinite poles.
+        For a shifted expansion the model's own frequency resolution
+        gives a second zero threshold: an eigenvalue with
+        ``|lambda| * sigma0 <= eps`` contributes ``|u lambda| <= eps``
+        for every ``|u|`` up to the expansion scale, i.e. its mode is a
+        constant to machine precision over the entire resolvable band
+        (this covers degenerate circuits whose whole ``T`` is
+        roundoff-level, where the relative filter alone keeps spurious
+        poles at ``~1/eps`` times the band edge).
         """
         eigenvalues = scipy.linalg.eigvals(self.t)
         scale = float(np.abs(eigenvalues).max()) if eigenvalues.size else 0.0
-        nonzero = eigenvalues[np.abs(eigenvalues) > max(1e-12 * scale, 1e-300)]
+        tiny = 1e-12 * scale
+        if self.sigma0:
+            tiny = max(tiny, np.finfo(float).eps / abs(self.sigma0))
+        nonzero = eigenvalues[np.abs(eigenvalues) > max(tiny, 1e-300)]
         return self.sigma0 - 1.0 / nonzero
 
     def poles(self) -> np.ndarray:

@@ -44,7 +44,9 @@ __all__ = [
     "ReductionCache",
     "CacheStats",
     "fingerprint_system",
+    "fingerprint_tabulated",
     "reduction_key",
+    "fitting_key",
     "default_cache_dir",
 ]
 
@@ -118,6 +120,44 @@ def reduction_key(
     h.update(fingerprint_system(system, version=version).encode())
     h.update(f"engine={engine}".encode())
     h.update(f"order={int(order)}".encode())
+    h.update(_canonical_options(options or {}).encode())
+    return h.hexdigest()
+
+
+def fingerprint_tabulated(data, *, version: str | None = None) -> str:
+    """Stable content hash of a tabulated frequency sweep (a
+    :class:`repro.fitting.TouchstoneData` or anything exposing
+    ``frequency_hz`` / ``matrices`` / ``parameter`` / ``z0`` /
+    ``port_names``)."""
+    h = hashlib.sha256()
+    h.update(f"layout={_CACHE_LAYOUT_VERSION}".encode())
+    h.update(f"version={version or _package_version()}".encode())
+    freq = np.ascontiguousarray(
+        np.asarray(data.frequency_hz, dtype=np.float64)
+    )
+    mats = np.ascontiguousarray(
+        np.asarray(data.matrices, dtype=np.complex128)
+    )
+    h.update(np.asarray(mats.shape, dtype=np.int64).tobytes())
+    h.update(freq.tobytes())
+    h.update(mats.tobytes())
+    h.update(f"parameter={data.parameter}".encode())
+    h.update(f"z0={float(data.z0)!r}".encode())
+    h.update("\x00".join(data.port_names).encode())
+    return h.hexdigest()
+
+
+def fitting_key(
+    data,
+    *,
+    options: dict | None = None,
+    version: str | None = None,
+) -> str:
+    """Content address of one vector-fitting request, so repeated fits
+    of the same table with the same options hit the reduction cache."""
+    h = hashlib.sha256()
+    h.update(fingerprint_tabulated(data, version=version).encode())
+    h.update(b"task=vector-fit")
     h.update(_canonical_options(options or {}).encode())
     return h.hexdigest()
 

@@ -136,9 +136,16 @@ class CompiledModel:
                 model, cond_limit=cond_limit, probe_tol=probe_tol,
                 monitor=monitor,
             )
+        if hasattr(model, "poles") and hasattr(model, "residues") and not (
+            callable(model.poles)
+        ):
+            return cls.from_pole_residue(
+                model, probe_tol=probe_tol, monitor=monitor
+            )
         raise ReductionError(
             f"cannot compile object of type {type(model).__name__}: "
-            "expected a ReducedOrderModel or a CongruenceModel"
+            "expected a ReducedOrderModel, a CongruenceModel or a "
+            "FittedModel"
         )
 
     @classmethod
@@ -239,6 +246,49 @@ class CompiledModel:
             model, "defective-pencil", worst_condition, monitor,
             sigma0=0.0, transfer=model.transfer,
             port_names=list(model.port_names), direct=None,
+        )
+
+    @classmethod
+    def from_pole_residue(
+        cls,
+        model,
+        *,
+        probe_tol: float = DEFAULT_PROBE_TOL,
+        monitor=None,
+    ) -> "CompiledModel":
+        """Compile a model already in pole-residue form (e.g. a
+        :class:`repro.fitting.FittedModel`).
+
+        The fitted form ``sum_k R_k / (s - p_k) + D`` maps exactly onto
+        the engine's ``sum_k R'_k / (1 + u lambda_k)`` kernel via
+        ``lambda_k = -1/p_k`` and ``R'_k = -R_k / p_k`` (``sigma0 = 0``,
+        so ``u = sigma = s``) -- no eigendecomposition needed, and the
+        usual probe verification still guards the algebra.
+        """
+        s_poles = np.asarray(model.poles, dtype=complex).ravel()
+        residues = np.asarray(model.residues, dtype=complex)
+        direct = (
+            None if model.direct is None else np.asarray(model.direct)
+        )
+        if s_poles.size and np.abs(s_poles).min() <= 1e-300:
+            return cls._fallback(
+                model, "pole-at-origin", 1.0, monitor,
+                sigma0=0.0, transfer=model.transfer,
+                port_names=list(model.port_names), direct=direct,
+            )
+        lam = np.zeros(0, dtype=complex) if not s_poles.size else -1.0 / s_poles
+        compiled = cls(
+            poles=lam,
+            residues=residues * lam[:, None, None],
+            sigma0=0.0,
+            transfer=model.transfer,
+            port_names=list(model.port_names),
+            direct_term=direct,
+            eig_condition=1.0,
+            source=model,
+        )
+        return compiled._verify(
+            probe_tol, monitor, order=s_poles.size, kind="pole-residue"
         )
 
     @classmethod

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine.cache import ReductionCache, reduction_key
+from repro.engine.cache import ReductionCache, fitting_key, reduction_key
 from repro.engine.compiled import CompiledModel
 from repro.engine.sweep import (
     DEFAULT_CHUNK,
@@ -47,6 +47,7 @@ class EngineStats:
     """Aggregated per-session counters (see :meth:`Engine.stats`)."""
 
     reductions: int = 0
+    fits: int = 0
     compilations: int = 0
     compile_fallbacks: int = 0
     compiled_points: int = 0
@@ -55,12 +56,14 @@ class EngineStats:
     sweeps: int = 0
     transients: int = 0
     wall: dict = field(default_factory=lambda: {
-        "reduce": 0.0, "compile": 0.0, "sweep": 0.0, "transient": 0.0,
+        "reduce": 0.0, "fit": 0.0, "compile": 0.0, "sweep": 0.0,
+        "transient": 0.0,
     })
 
     def to_dict(self) -> dict:
         return {
             "reductions": self.reductions,
+            "fits": self.fits,
             "compilations": self.compilations,
             "compile_fallbacks": self.compile_fallbacks,
             "compiled_points": self.compiled_points,
@@ -204,6 +207,69 @@ class Engine:
 
         sigma0 = 0.0 if shift == "auto" else float(shift)
         return prima(system, order, sigma0=sigma0, **options)
+
+    # ------------------------------------------------------------------
+    # fitting (cache-aware)
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        data,
+        *,
+        num_poles: int | None = None,
+        enforce_passivity: bool = False,
+        use_cache: bool = True,
+        domain: str | None = None,
+        **options,
+    ):
+        """Vector-fit a tabulated sweep (a
+        :class:`~repro.fitting.TouchstoneData`), via the cache.
+
+        The key is the content address of the table plus every fit
+        option, so re-fitting identical data is free; the fitted model
+        persists to the disk layer like a reduced model.  With
+        ``enforce_passivity`` the fit is post-processed by
+        :func:`repro.fitting.enforce_model_passivity` (that choice is
+        part of the cache key).
+        """
+        from repro.fitting import enforce_model_passivity, fit_touchstone
+
+        started = time.perf_counter()
+        key_options = {
+            "num_poles": num_poles,
+            "domain": domain,
+            "enforce_passivity": bool(enforce_passivity),
+            **options,
+        }
+        key = fitting_key(data, options=key_options, version=self.version)
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                if self.monitor is not None:
+                    self.monitor.record(
+                        "engine.cache", hit=True, key=key[:16],
+                        engine="vector-fit", order=num_poles,
+                    )
+                self.stats_.wall["fit"] += time.perf_counter() - started
+                return cached
+            if self.monitor is not None:
+                self.monitor.record(
+                    "engine.cache", hit=False, key=key[:16],
+                    engine="vector-fit", order=num_poles,
+                )
+        model = fit_touchstone(
+            data,
+            domain=domain,
+            num_poles=num_poles,
+            monitor=self.monitor,
+            **options,
+        )
+        if enforce_passivity:
+            model = enforce_model_passivity(model, monitor=self.monitor)
+        self.stats_.fits += 1
+        if use_cache:
+            self.cache.put(key, model)
+        self.stats_.wall["fit"] += time.perf_counter() - started
+        return model
 
     # ------------------------------------------------------------------
     # compilation (memoized per model instance)

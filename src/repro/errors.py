@@ -31,6 +31,8 @@ __all__ = [
     "SynthesisError",
     "SimulationError",
     "ConvergenceError",
+    "FittingError",
+    "TouchstoneFormatError",
     "NumericalWarning",
     "EXIT_OK",
     "EXIT_FAILURE",
@@ -40,6 +42,7 @@ __all__ = [
     "EXIT_FACTORIZATION",
     "EXIT_SIMULATION",
     "EXIT_IO",
+    "EXIT_FITTING",
     "EXIT_CODES",
     "EXIT_LABELS",
     "exit_code_for",
@@ -188,6 +191,29 @@ class ConvergenceError(SimulationError):
     """An iterative simulation loop failed to converge."""
 
 
+class FittingError(ReproError):
+    """Rational fitting of tabulated data failed (vector fitting,
+    passivity enforcement, or fitted-model adaptation).
+
+    The family's CLI exit code is 8 (``repro fit`` / ``repro
+    touchstone``, see ``docs/FITTING.md``).
+    """
+
+
+class TouchstoneFormatError(FittingError):
+    """A Touchstone (``.sNp``) file could not be parsed or written.
+
+    Carries the offending 1-based ``line_number`` when known, in the
+    style of :class:`NetlistParseError`.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
 # ---------------------------------------------------------------------------
 # documented CLI exit codes (one per error family)
 # ---------------------------------------------------------------------------
@@ -199,6 +225,7 @@ EXIT_SYNTHESIS = 4  # reduced-circuit synthesis
 EXIT_FACTORIZATION = 5  # symmetric factorization
 EXIT_SIMULATION = 6  # AC/transient simulation
 EXIT_IO = 7  # file system errors (missing input, unwritable output)
+EXIT_FITTING = 8  # vector fitting / Touchstone I/O / passivity enforcement
 
 #: Most-derived-first mapping from error class to exit code; resolution
 #: walks the exception's MRO so subclasses inherit their family's code.
@@ -211,6 +238,7 @@ EXIT_CODES: dict[type, int] = {
     SynthesisError: EXIT_SYNTHESIS,
     FactorizationError: EXIT_FACTORIZATION,
     SimulationError: EXIT_SIMULATION,
+    FittingError: EXIT_FITTING,
     OSError: EXIT_IO,
     ReproError: EXIT_FAILURE,
 }
@@ -224,6 +252,7 @@ EXIT_LABELS: dict[int, str] = {
     EXIT_FACTORIZATION: "factorization",
     EXIT_SIMULATION: "simulation",
     EXIT_IO: "io",
+    EXIT_FITTING: "fitting",
 }
 
 

@@ -1,0 +1,61 @@
+"""Rational macromodeling of tabulated frequency data.
+
+The reduction drivers in :mod:`repro.core` need the circuit equations;
+this package starts from *measurements* instead: a table of
+``(frequency, matrix)`` samples, typically a Touchstone ``.sNp`` file
+exported by a field solver or a network analyzer.  It fits the table
+with a stable rational model (relaxed vector fitting, Gustavsen 1999 /
+2006, with the fast QR-compressed solver of Deschrijver 2008), checks
+and optionally restores passivity via Hamiltonian / half-size
+eigenvalue tests, and hands the result back as a
+:class:`FittedModel` -- which compiles, sweeps, caches, serializes and
+synthesizes through the same machinery as a Lanczos-reduced model.
+
+Typical flow::
+
+    from repro.fitting import fit_touchstone, read_touchstone
+    from repro.fitting import assess_passivity, enforce_model_passivity
+
+    data = read_touchstone("coupled_lines.s4p")
+    model = fit_touchstone(data, num_poles=24, domain="Y")
+    if not assess_passivity(model).passive:
+        model = enforce_model_passivity(model)
+"""
+
+from repro.fitting.model import FittedModel
+from repro.fitting.passivity import (
+    PassivityReport,
+    assess_passivity,
+    enforce_model_passivity,
+    half_size_matrix,
+    hamiltonian_matrix,
+    passivity_crossings,
+)
+from repro.fitting.touchstone import (
+    TouchstoneData,
+    read_touchstone,
+    write_touchstone,
+)
+from repro.fitting.vectorfit import (
+    FitReport,
+    fit_touchstone,
+    initial_poles,
+    vector_fit,
+)
+
+__all__ = [
+    "FittedModel",
+    "FitReport",
+    "PassivityReport",
+    "TouchstoneData",
+    "assess_passivity",
+    "enforce_model_passivity",
+    "fit_touchstone",
+    "half_size_matrix",
+    "hamiltonian_matrix",
+    "initial_poles",
+    "passivity_crossings",
+    "read_touchstone",
+    "vector_fit",
+    "write_touchstone",
+]

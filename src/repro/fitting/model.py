@@ -1,0 +1,333 @@
+"""Pole-residue macromodel produced by vector fitting.
+
+A :class:`FittedModel` is the rational matrix function
+
+``H(s) = sum_k R_k / (s - p_k) + D``
+
+with conjugate-closed poles ``p_k``, matching matrix residues ``R_k``
+and an optional real direct term ``D``.  It speaks the same evaluation
+protocol as :class:`~repro.core.model.ReducedOrderModel` (``kernel`` /
+``impedance`` with a :class:`TransferMap`), so the engine compiles it
+(:meth:`CompiledModel.from_pole_residue`), the reduction cache stores
+it, and :func:`repro.io.save_model` persists it.  :meth:`to_rom`
+realifies the partial fractions into a genuine
+:class:`ReducedOrderModel` for consumers that need real state matrices
+(Foster/Cauer synthesis, state-space export).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.mna import TransferMap
+from repro.errors import FittingError
+
+__all__ = ["FittedModel"]
+
+#: ``|Im p| / |p|`` below which a pole is treated as real
+_REAL_TOL = 1e-12
+
+
+def _pole_blocks(poles: np.ndarray) -> list[tuple[str, int]]:
+    """Decompose a canonical pole array into ``("r", i)`` singles and
+    ``("c", i)`` conjugate pairs (member ``i`` has positive imag part,
+    ``i + 1`` its conjugate)."""
+    blocks: list[tuple[str, int]] = []
+    i = 0
+    n = poles.size
+    while i < n:
+        p = poles[i]
+        if abs(p.imag) <= _REAL_TOL * max(abs(p), 1e-300):
+            blocks.append(("r", i))
+            i += 1
+            continue
+        if i + 1 >= n or not np.isclose(
+            poles[i + 1], np.conj(p), rtol=1e-8, atol=1e-300
+        ):
+            raise FittingError(
+                f"pole {p} has no adjacent conjugate partner; poles must "
+                "be conjugate-closed with pairs stored adjacently"
+            )
+        blocks.append(("c", i))
+        i += 2
+    return blocks
+
+
+@dataclass
+class FittedModel:
+    """Rational macromodel ``sum_k R_k / (s - p_k) + D``.
+
+    Attributes
+    ----------
+    poles:
+        ``(n,)`` complex, conjugate-closed; each complex pair is stored
+        adjacently with the positive-imaginary member first.
+    residues:
+        ``(n, p, p)`` complex residue matrices, conjugate at paired
+        poles.
+    direct:
+        Optional real ``(p, p)`` constant term.
+    parameter:
+        Domain of the fitted data: ``"Z"`` (impedance), ``"Y"``
+        (admittance) or ``"S"`` (scattering, reference ``z0``).
+    """
+
+    poles: np.ndarray
+    residues: np.ndarray
+    direct: np.ndarray | None = None
+    port_names: list[str] = field(default_factory=list)
+    parameter: str = "Z"
+    z0: float = 50.0
+    transfer: TransferMap = field(default_factory=TransferMap)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.poles = np.asarray(self.poles, dtype=complex).ravel()
+        self.residues = np.asarray(self.residues, dtype=complex)
+        n = self.poles.size
+        if self.residues.ndim != 3 or self.residues.shape[0] != n or (
+            self.residues.shape[1] != self.residues.shape[2]
+        ):
+            raise FittingError(
+                "residues must have shape (len(poles), p, p), got "
+                f"{self.residues.shape}"
+            )
+        p = self.residues.shape[1] if n else len(self.port_names) or 1
+        if self.direct is not None:
+            self.direct = np.asarray(self.direct, dtype=float)
+            if self.direct.shape != (p, p):
+                raise FittingError("direct term must be p x p")
+        self.parameter = self.parameter.upper()
+        if self.parameter not in ("Z", "Y", "S"):
+            raise FittingError(
+                f"parameter must be 'Z', 'Y' or 'S', got {self.parameter!r}"
+            )
+        if not self.port_names:
+            self.port_names = [f"port{i + 1}" for i in range(p)]
+        elif len(self.port_names) != p:
+            raise FittingError(
+                f"{len(self.port_names)} port names for {p} ports"
+            )
+        self._blocks = _pole_blocks(self.poles)
+        tiny = np.abs(self.poles) <= 1e-300
+        if tiny.any():
+            raise FittingError(
+                "fitted pole at the origin; represent a DC term through "
+                "the direct constant instead"
+            )
+
+    # ------------------------------------------------------------------
+    # sizes / structure
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """Number of poles (model order of each matrix entry)."""
+        return int(self.poles.size)
+
+    @property
+    def num_ports(self) -> int:
+        return int(self.residues.shape[1]) if self.order else len(self.port_names)
+
+    @property
+    def num_real_poles(self) -> int:
+        return sum(1 for kind, _ in self._blocks if kind == "r")
+
+    def is_stable(self, tol: float = 1e-8) -> bool:
+        """All poles in the closed left half plane (relative tolerance
+        on the pole scale, matching ``ReducedOrderModel.is_stable``)."""
+        if self.order == 0:
+            return True
+        scale = max(1.0, float(np.abs(self.poles).max()))
+        return bool(self.poles.real.max() <= tol * scale)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def matrices(self, s: complex | np.ndarray) -> np.ndarray:
+        """Evaluate the fitted matrices in their native ``parameter``
+        domain: ``p x p`` for scalar ``s``, ``(m, p, p)`` for a batch."""
+        scalar = np.isscalar(s) or np.asarray(s).ndim == 0
+        s_arr = np.atleast_1d(np.asarray(s, dtype=complex)).ravel()
+        p = self.num_ports
+        if self.order:
+            weights = 1.0 / (s_arr[:, None] - self.poles[None, :])
+            flat = self.residues.reshape(self.order, p * p)
+            out = (weights @ flat).reshape(s_arr.size, p, p)
+        else:
+            out = np.zeros((s_arr.size, p, p), dtype=complex)
+        if self.direct is not None:
+            out = out + self.direct
+        return out[0] if scalar else out
+
+    def kernel(self, sigma: complex | np.ndarray) -> np.ndarray:
+        """Engine-protocol kernel; identical to :meth:`matrices` (the
+        fitted kernel variable is ``s`` itself)."""
+        return self.matrices(sigma)
+
+    def _kernel_direct(self, sigma_arr: np.ndarray) -> np.ndarray:
+        """Reference evaluation for compile-time probing."""
+        return np.atleast_1d(
+            np.asarray(self.matrices(np.atleast_1d(sigma_arr)))
+        ).reshape(-1, self.num_ports, self.num_ports)
+
+    def impedance(self, s: complex | np.ndarray) -> np.ndarray:
+        """Impedance matrices ``Z(s)`` regardless of the fitted domain
+        (Y data is inverted, S data de-embedded at ``z0``)."""
+        native = self.matrices(s)
+        if self.parameter == "Z":
+            return native
+        from repro.analysis import network as _net
+
+        if self.parameter == "Y":
+            return _net.y_to_z(native)
+        return _net.s_to_z(native, z0=self.z0)
+
+    def __call__(self, s: complex | np.ndarray) -> np.ndarray:
+        return self.impedance(s)
+
+    # ------------------------------------------------------------------
+    # adaptation
+    # ------------------------------------------------------------------
+    def to_rom(self, rank_tol: float = 1e-12):
+        """Realify into a :class:`~repro.core.model.ReducedOrderModel`.
+
+        Each matrix residue is rank-factored by SVD (singular values
+        below ``rank_tol`` times the largest are dropped) and each
+        rank-one complex mode realified into the 2x2 rotation-block
+        convention of :func:`repro.core.passivity.stabilize`, giving
+        real ``(T, rho, output)`` with
+        ``H(s) = output^T (I + s T)^{-1} rho + direct`` exactly equal to
+        the partial-fraction sum.
+        """
+        from repro.core.model import ReducedOrderModel
+
+        p = self.num_ports
+        blocks: list[np.ndarray] = []
+        rho_rows: list[np.ndarray] = []
+        out_rows: list[np.ndarray] = []
+        for kind, i in self._blocks:
+            pole = self.poles[i]
+            lam = -1.0 / pole
+            residue = self.residues[i]
+            u, sing, vh = np.linalg.svd(residue)
+            keep = sing > rank_tol * max(sing[0] if sing.size else 0.0, 1e-300)
+            for j in np.where(keep)[0]:
+                # rank-one mode c L / (s - pole) = (lam c) L / (1 + s lam)
+                # (svd returns V^H, so row j of vh IS the mode's L row)
+                c = lam * sing[j] * u[:, j]
+                ell = vh[j]
+                if kind == "r":
+                    blocks.append(np.array([[lam.real]]))
+                    rho_rows.append(ell.real[None, :])
+                    out_rows.append(c.real[None, :])
+                else:
+                    a, b = lam.real, lam.imag
+                    blocks.append(np.array([[a, b], [-b, a]]))
+                    rho_rows.append(np.vstack([2.0 * ell.real, -2.0 * ell.imag]))
+                    out_rows.append(np.vstack([c.real, c.imag]))
+
+        n = sum(blk.shape[0] for blk in blocks)
+        t = np.zeros((n, n))
+        offset = 0
+        for blk in blocks:
+            w = blk.shape[0]
+            t[offset : offset + w, offset : offset + w] = blk
+            offset += w
+        rho = np.vstack(rho_rows) if rho_rows else np.zeros((0, p))
+        output = np.vstack(out_rows) if out_rows else np.zeros((0, p))
+        return ReducedOrderModel(
+            t=t,
+            delta=np.eye(n),
+            rho=rho,
+            sigma0=0.0,
+            transfer=self.transfer,
+            port_names=list(self.port_names),
+            source_size=n,
+            guaranteed_stable_passive=False,
+            factorization_method="vector-fit",
+            metadata={
+                **self.metadata,
+                "fitted": True,
+                "parameter": self.parameter,
+                "z0": self.z0,
+            },
+            direct=None if self.direct is None else self.direct.copy(),
+            output=output,
+        )
+
+    def to_state_space(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Real ``(A, B, C, D)`` with ``H(s) = C (sI - A)^{-1} B + D``.
+
+        Block-diagonal and non-minimal (``p`` states per real pole,
+        ``2p`` per pair); used by the Hamiltonian passivity test, where
+        structure matters more than minimality.
+        """
+        p = self.num_ports
+        a_blocks: list[np.ndarray] = []
+        b_blocks: list[np.ndarray] = []
+        c_blocks: list[np.ndarray] = []
+        eye = np.eye(p)
+        for kind, i in self._blocks:
+            pole = self.poles[i]
+            residue = self.residues[i]
+            if kind == "r":
+                a_blocks.append(pole.real * eye)
+                b_blocks.append(eye)
+                c_blocks.append(residue.real)
+            else:
+                ar, br = pole.real, pole.imag
+                a_blocks.append(
+                    np.block([[ar * eye, br * eye], [-br * eye, ar * eye]])
+                )
+                b_blocks.append(np.vstack([eye, np.zeros((p, p))]))
+                c_blocks.append(
+                    np.hstack([2.0 * residue.real, 2.0 * residue.imag])
+                )
+        n = sum(blk.shape[0] for blk in a_blocks)
+        a = np.zeros((n, n))
+        b = np.zeros((n, p))
+        offset = 0
+        for blk, bb in zip(a_blocks, b_blocks):
+            w = blk.shape[0]
+            a[offset : offset + w, offset : offset + w] = blk
+            b[offset : offset + w] = bb
+            offset += w
+        c = np.hstack(c_blocks) if c_blocks else np.zeros((p, 0))
+        d = (
+            self.direct.copy()
+            if self.direct is not None
+            else np.zeros((p, p))
+        )
+        return a, b, c, d
+
+    def with_updates(
+        self,
+        *,
+        residues: np.ndarray | None = None,
+        direct: np.ndarray | None = None,
+        metadata: dict | None = None,
+    ) -> "FittedModel":
+        """Copy with replaced residues / direct term (same poles)."""
+        return FittedModel(
+            poles=self.poles.copy(),
+            residues=self.residues.copy() if residues is None else residues,
+            direct=(
+                (None if self.direct is None else self.direct.copy())
+                if direct is None
+                else direct
+            ),
+            port_names=list(self.port_names),
+            parameter=self.parameter,
+            z0=self.z0,
+            transfer=self.transfer,
+            metadata={**self.metadata, **(metadata or {})},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FittedModel(order={self.order}, ports={self.num_ports}, "
+            f"parameter={self.parameter!r}, "
+            f"real_poles={self.num_real_poles})"
+        )

@@ -1,0 +1,421 @@
+"""Touchstone (``.sNp``) reader and writer.
+
+Implements the Touchstone v1 format used by network analyzers and field
+solvers: an option line ``# <unit> <parameter> <format> R <z0>`` followed
+by one block of ``2 p^2`` real numbers per frequency point.  The quirks
+of the format (all handled here, and documented in ``docs/FITTING.md``)
+are:
+
+* the **2-port column-major order** -- data lines carry
+  ``S11 S21 S12 S22``, *not* row-major order as for every other size;
+* **line wrapping** for ``p >= 3`` -- at most four parameter pairs per
+  line, each matrix row starting on a fresh line;
+* **noise parameters** -- a 2-port file may append noise data after the
+  network data; the blocks are distinguished only by the frequency
+  column decreasing, so the reader truncates at the first decrease;
+* **normalized Y/Z data** -- the v1 specification stores impedance data
+  divided by the reference resistance and admittance data multiplied by
+  it; this module reads/writes spec-normalized values and exposes SI
+  units in :class:`TouchstoneData`.
+
+Matrices convert between S, Y and Z domains through
+:mod:`repro.analysis.network`, so a parsed file drops straight into the
+same conventions as simulated sweeps (:class:`FrequencyResponse`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import network as _net
+from repro.errors import TouchstoneFormatError
+from repro.simulation.results import FrequencyResponse
+
+__all__ = ["TouchstoneData", "read_touchstone", "write_touchstone"]
+
+_UNIT_SCALE = {"HZ": 1.0, "KHZ": 1e3, "MHZ": 1e6, "GHZ": 1e9}
+_PARAMETERS = ("S", "Y", "Z")
+_FORMATS = ("RI", "MA", "DB")
+_EXTENSION = re.compile(r"\.s(\d+)p$", re.IGNORECASE)
+# port-name annotation comment (an extension; plain v1 has no names)
+_PORT_COMMENT = re.compile(r"^Port\[(\d+)\]\s*=\s*(\S+)$", re.IGNORECASE)
+
+
+@dataclass
+class TouchstoneData:
+    """Tabulated multi-port frequency data in SI units.
+
+    ``matrices`` holds the ``(m, p, p)`` complex stack in the domain
+    named by ``parameter`` ("S", "Y" or "Z") -- always *denormalized*,
+    i.e. ohms for Z and siemens for Y regardless of how the file stored
+    them.  ``z0`` is the scattering reference impedance.
+    """
+
+    frequency_hz: np.ndarray
+    matrices: np.ndarray
+    parameter: str = "S"
+    z0: float = 50.0
+    port_names: list[str] = field(default_factory=list)
+    comments: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.frequency_hz = np.asarray(self.frequency_hz, dtype=float)
+        self.matrices = np.asarray(self.matrices, dtype=complex)
+        self.parameter = self.parameter.upper()
+        if self.parameter not in _PARAMETERS:
+            raise TouchstoneFormatError(
+                f"unsupported parameter {self.parameter!r}; "
+                f"expected one of {_PARAMETERS}"
+            )
+        if (
+            self.matrices.ndim != 3
+            or self.matrices.shape[0] != self.frequency_hz.shape[0]
+            or self.matrices.shape[1] != self.matrices.shape[2]
+        ):
+            raise TouchstoneFormatError(
+                "matrices must have shape (len(frequency_hz), p, p)"
+            )
+        if self.z0 <= 0:
+            raise TouchstoneFormatError(
+                f"reference impedance must be positive, got {self.z0}"
+            )
+        if not self.port_names:
+            self.port_names = [
+                f"port{i + 1}" for i in range(self.num_ports)
+            ]
+        elif len(self.port_names) != self.num_ports:
+            raise TouchstoneFormatError(
+                f"{len(self.port_names)} port names for "
+                f"{self.num_ports} ports"
+            )
+
+    @property
+    def num_ports(self) -> int:
+        return int(self.matrices.shape[-1])
+
+    @property
+    def num_points(self) -> int:
+        return int(self.frequency_hz.shape[0])
+
+    @property
+    def s_values(self) -> np.ndarray:
+        """Imaginary-axis complex frequencies ``j 2 pi f``."""
+        return 1j * 2.0 * np.pi * self.frequency_hz
+
+    # -- domain conversions (SI units in, SI units out) -----------------
+    def scattering(self) -> np.ndarray:
+        if self.parameter == "S":
+            return self.matrices
+        if self.parameter == "Z":
+            return _net.z_to_s(self.matrices, z0=self.z0)
+        return _net.y_to_s(self.matrices, z0=self.z0)
+
+    def impedance(self) -> np.ndarray:
+        if self.parameter == "Z":
+            return self.matrices
+        if self.parameter == "S":
+            return _net.s_to_z(self.matrices, z0=self.z0)
+        return _net.y_to_z(self.matrices)
+
+    def admittance(self) -> np.ndarray:
+        if self.parameter == "Y":
+            return self.matrices
+        if self.parameter == "S":
+            return _net.s_to_y(self.matrices, z0=self.z0)
+        return _net.z_to_y(self.matrices)
+
+    def in_domain(self, parameter: str) -> np.ndarray:
+        """Matrix stack converted to ``parameter`` ("S", "Y" or "Z")."""
+        parameter = parameter.upper()
+        if parameter == "S":
+            return self.scattering()
+        if parameter == "Y":
+            return self.admittance()
+        if parameter == "Z":
+            return self.impedance()
+        raise TouchstoneFormatError(
+            f"unsupported parameter {parameter!r}; expected one of "
+            f"{_PARAMETERS}"
+        )
+
+    def to_response(self, label: str = "touchstone") -> FrequencyResponse:
+        """Adapt to the library's impedance-domain sweep container."""
+        return FrequencyResponse(
+            s=self.s_values,
+            z=self.impedance(),
+            port_names=list(self.port_names),
+            label=label,
+        )
+
+
+def _values_to_complex(a: np.ndarray, b: np.ndarray, fmt: str) -> np.ndarray:
+    if fmt == "RI":
+        return a + 1j * b
+    if fmt == "MA":
+        return a * np.exp(1j * np.deg2rad(b))
+    # DB: 20 log10 magnitude, angle in degrees
+    return 10.0 ** (a / 20.0) * np.exp(1j * np.deg2rad(b))
+
+
+def _complex_to_values(z: np.ndarray, fmt: str) -> tuple[np.ndarray, np.ndarray]:
+    if fmt == "RI":
+        return z.real, z.imag
+    mag = np.abs(z)
+    ang = np.rad2deg(np.angle(z))
+    if fmt == "MA":
+        return mag, ang
+    return 20.0 * np.log10(np.maximum(mag, 1e-300)), ang
+
+
+def _normalization(parameter: str, z0: float) -> float:
+    """File value = SI value * factor (Touchstone v1 Y/Z normalization)."""
+    if parameter == "Z":
+        return 1.0 / z0
+    if parameter == "Y":
+        return z0
+    return 1.0
+
+
+def _ports_from_name(path: Path) -> int | None:
+    match = _EXTENSION.search(path.name)
+    return int(match.group(1)) if match else None
+
+
+def _entry_order(p: int) -> list[tuple[int, int]]:
+    """Element order on data lines; 2-port files are column-major."""
+    if p == 2:
+        return [(0, 0), (1, 0), (0, 1), (1, 1)]
+    return [(i, j) for i in range(p) for j in range(p)]
+
+
+def read_touchstone(path: str | Path, num_ports: int | None = None) -> TouchstoneData:
+    """Parse a Touchstone v1 ``.sNp`` file.
+
+    The port count is taken from the file extension (``.s2p`` -> 2); pass
+    ``num_ports`` explicitly for files with nonconforming names.  Raises
+    :class:`TouchstoneFormatError` with a line number on malformed input.
+    """
+    path = Path(path)
+    if num_ports is None:
+        num_ports = _ports_from_name(path)
+        if num_ports is None:
+            raise TouchstoneFormatError(
+                f"cannot infer port count from {path.name!r}; expected a "
+                ".sNp extension or an explicit num_ports"
+            )
+    if num_ports < 1:
+        raise TouchstoneFormatError(f"invalid port count {num_ports}")
+
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise TouchstoneFormatError(f"no such file: {path}") from None
+
+    unit, parameter, fmt, z0 = "GHZ", "S", "MA", 50.0
+    saw_options = False
+    comments: list[str] = []
+    values: list[float] = []
+    value_lines: list[int] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if "!" in line:
+            comment = line.split("!", 1)[1].strip()
+            if comment:
+                comments.append(comment)
+            line = line.split("!", 1)[0]
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if saw_options:
+                # the spec allows exactly one option line
+                raise TouchstoneFormatError(
+                    "multiple option lines", line_number=lineno
+                )
+            saw_options = True
+            tokens = line[1:].upper().split()
+            i = 0
+            while i < len(tokens):
+                tok = tokens[i]
+                if tok in _UNIT_SCALE:
+                    unit = tok
+                elif tok in _PARAMETERS:
+                    parameter = tok
+                elif tok in _FORMATS:
+                    fmt = tok
+                elif tok == "R":
+                    if i + 1 >= len(tokens):
+                        raise TouchstoneFormatError(
+                            "option 'R' missing its impedance value",
+                            line_number=lineno,
+                        )
+                    try:
+                        z0 = float(tokens[i + 1])
+                    except ValueError:
+                        raise TouchstoneFormatError(
+                            f"bad reference impedance {tokens[i + 1]!r}",
+                            line_number=lineno,
+                        ) from None
+                    i += 1
+                else:
+                    raise TouchstoneFormatError(
+                        f"unknown option token {tok!r}", line_number=lineno
+                    )
+                i += 1
+            continue
+        for tok in line.split():
+            try:
+                values.append(float(tok))
+            except ValueError:
+                raise TouchstoneFormatError(
+                    f"expected a number, got {tok!r}", line_number=lineno
+                ) from None
+            value_lines.append(lineno)
+
+    per_point = 1 + 2 * num_ports * num_ports
+    if not values:
+        raise TouchstoneFormatError(f"no data in {path.name}")
+
+    freqs: list[float] = []
+    mats: list[np.ndarray] = []
+    order = _entry_order(num_ports)
+    scale = _UNIT_SCALE[unit]
+    norm = _normalization(parameter, z0)
+    pos = 0
+    while pos + per_point <= len(values):
+        freq = values[pos] * scale
+        if num_ports == 2 and freqs and freq < freqs[-1]:
+            break  # noise-parameter block begins; network data is done
+        block = np.asarray(values[pos + 1 : pos + per_point])
+        z = _values_to_complex(block[0::2], block[1::2], fmt)
+        mat = np.empty((num_ports, num_ports), dtype=complex)
+        for k, (i, j) in enumerate(order):
+            mat[i, j] = z[k]
+        freqs.append(freq)
+        mats.append(mat / norm)
+        pos += per_point
+    if pos < len(values) and not (num_ports == 2 and pos > 0):
+        leftover = len(values) - pos
+        raise TouchstoneFormatError(
+            f"trailing data: {leftover} value(s) do not form a complete "
+            f"frequency point ({per_point} values each)",
+            line_number=value_lines[pos],
+        )
+    if not freqs:
+        raise TouchstoneFormatError(
+            f"not enough values for a single {num_ports}-port point "
+            f"(need {per_point}, got {len(values)})",
+            line_number=value_lines[0],
+        )
+
+    # lift ``Port[k] = name`` annotations (written by write_touchstone)
+    # out of the comment block into structured port names
+    names: dict[int, str] = {}
+    plain_comments: list[str] = []
+    for comment in comments:
+        match = _PORT_COMMENT.match(comment)
+        if match and 1 <= int(match.group(1)) <= num_ports:
+            names[int(match.group(1))] = match.group(2)
+        else:
+            plain_comments.append(comment)
+    port_names = (
+        [names.get(k + 1, f"port{k + 1}") for k in range(num_ports)]
+        if names else []
+    )
+
+    return TouchstoneData(
+        frequency_hz=np.asarray(freqs),
+        matrices=np.asarray(mats),
+        parameter=parameter,
+        z0=z0,
+        port_names=port_names,
+        comments=plain_comments,
+    )
+
+
+def _format_float(x: float) -> str:
+    return f"{x:.12g}"
+
+
+def write_touchstone(
+    path: str | Path,
+    data: TouchstoneData,
+    *,
+    fmt: str = "RI",
+    unit: str = "HZ",
+    parameter: str | None = None,
+    comments: list[str] | None = None,
+) -> Path:
+    """Write ``data`` as a Touchstone v1 file.
+
+    ``parameter`` selects the stored domain (default: the data's own);
+    the matrices are converted as needed and Y/Z values are normalized
+    to the reference impedance per the v1 specification.  The file
+    extension is checked against the port count when it looks like
+    ``.sNp``.
+    """
+    path = Path(path)
+    fmt = fmt.upper()
+    unit = unit.upper()
+    if fmt not in _FORMATS:
+        raise TouchstoneFormatError(
+            f"unsupported format {fmt!r}; expected one of {_FORMATS}"
+        )
+    if unit not in _UNIT_SCALE:
+        raise TouchstoneFormatError(
+            f"unsupported unit {unit!r}; expected one of "
+            f"{tuple(_UNIT_SCALE)}"
+        )
+    parameter = (parameter or data.parameter).upper()
+    p = data.num_ports
+    named = _ports_from_name(path)
+    if named is not None and named != p:
+        raise TouchstoneFormatError(
+            f"file name {path.name!r} implies {named} ports but data "
+            f"has {p}"
+        )
+
+    matrices = data.in_domain(parameter) * _normalization(parameter, data.z0)
+    freqs = data.frequency_hz / _UNIT_SCALE[unit]
+    order = _entry_order(p)
+
+    lines: list[str] = []
+    for comment in list(data.comments) + list(comments or []):
+        lines.append(f"! {comment}")
+    if data.port_names != [f"port{k + 1}" for k in range(p)]:
+        for k, name in enumerate(data.port_names, start=1):
+            lines.append(f"! Port[{k}] = {name}")
+    z0_text = _format_float(data.z0)
+    lines.append(f"# {unit} {parameter} {fmt} R {z0_text}")
+
+    for freq, mat in zip(freqs, matrices):
+        flat = np.asarray([mat[i, j] for i, j in order])
+        a, b = _complex_to_values(flat, fmt)
+        pairs = [
+            f"{_format_float(float(x))} {_format_float(float(y))}"
+            for x, y in zip(a, b)
+        ]
+        if p <= 2:
+            lines.append(" ".join([_format_float(float(freq))] + pairs))
+        else:
+            # one matrix row per output line, wrapped at 4 pairs
+            cursor = 0
+            for row in range(p):
+                row_pairs = pairs[cursor : cursor + p]
+                cursor += p
+                for chunk_start in range(0, p, 4):
+                    chunk = row_pairs[chunk_start : chunk_start + 4]
+                    if row == 0 and chunk_start == 0:
+                        lines.append(
+                            " ".join([_format_float(float(freq))] + chunk)
+                        )
+                    else:
+                        lines.append("  " + " ".join(chunk))
+
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,12 +1,22 @@
-"""Saving and loading reduced-order models (``.npz`` archives).
+"""Saving and loading macromodels (``.npz`` archives).
 
 A macromodel is typically extracted once and consumed by many
 downstream simulations; these helpers persist everything needed to
-re-evaluate and re-stamp a :class:`ReducedOrderModel`.
+re-evaluate and re-stamp it.  Two model families are supported:
+
+* :class:`~repro.core.model.ReducedOrderModel` -- the Lanczos
+  ``(T, Delta, rho)`` triple (format v1, still written and read);
+* :class:`~repro.fitting.FittedModel` -- the pole-residue form produced
+  by vector fitting (added in format v2).
+
+Format history: v1 archives carry no ``kind`` field and are always
+reduced-order models; v2 adds ``kind`` (``"rom"`` / ``"fitted"``) and
+the fitted payload.  :func:`load_model` reads both.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import numpy as np
@@ -17,18 +27,12 @@ from repro.errors import ReproError
 
 __all__ = ["save_model", "load_model"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
-def save_model(model: ReducedOrderModel, path: str | pathlib.Path) -> None:
-    """Serialize ``model`` to a NumPy ``.npz`` archive.
-
-    The Lanczos debug metadata is *not* stored (it references the full
-    factorization); everything needed for evaluation, synthesis, and
-    stamping is.
-    """
+def _rom_payload(model: ReducedOrderModel) -> dict[str, np.ndarray]:
     payload: dict[str, np.ndarray] = {
-        "format_version": np.array(_FORMAT_VERSION),
+        "kind": np.array("rom"),
         "t": model.t,
         "delta": model.delta,
         "rho": model.rho,
@@ -44,11 +48,100 @@ def save_model(model: ReducedOrderModel, path: str | pathlib.Path) -> None:
         payload["direct"] = model.direct
     if model.output is not None:
         payload["output"] = model.output
+    return payload
+
+
+def _fitted_payload(model) -> dict[str, np.ndarray]:
+    payload: dict[str, np.ndarray] = {
+        "kind": np.array("fitted"),
+        "poles": np.asarray(model.poles, dtype=complex),
+        "residues": np.asarray(model.residues, dtype=complex),
+        "sigma_power": np.array(model.transfer.sigma_power),
+        "prefactor_power": np.array(model.transfer.prefactor_power),
+        "port_names": np.array(model.port_names, dtype=object),
+        "parameter": np.array(model.parameter),
+        "z0": np.array(float(model.z0)),
+        # JSON round-trip keeps only the plain-data part of metadata
+        # (fit reports, passivity certificates), dropping live objects
+        "metadata_json": np.array(
+            json.dumps(model.metadata, default=repr, sort_keys=True)
+        ),
+    }
+    if model.direct is not None:
+        payload["direct"] = model.direct
+    return payload
+
+
+def save_model(model, path: str | pathlib.Path) -> None:
+    """Serialize a reduced-order or fitted model to a ``.npz`` archive.
+
+    The Lanczos debug metadata is *not* stored (it references the full
+    factorization); everything needed for evaluation, synthesis, and
+    stamping is.
+    """
+    if hasattr(model, "t") and hasattr(model, "rho"):
+        payload = _rom_payload(model)
+    elif hasattr(model, "poles") and hasattr(model, "residues") and not (
+        callable(model.poles)
+    ):
+        payload = _fitted_payload(model)
+    else:
+        raise TypeError(
+            f"cannot serialize object of type {type(model).__name__}: "
+            "expected a ReducedOrderModel or a FittedModel"
+        )
+    payload["format_version"] = np.array(_FORMAT_VERSION)
     np.savez(path, **payload)
 
 
-def load_model(path: str | pathlib.Path) -> ReducedOrderModel:
+def _load_rom(archive) -> ReducedOrderModel:
+    return ReducedOrderModel(
+        t=archive["t"],
+        delta=archive["delta"],
+        rho=archive["rho"],
+        sigma0=float(archive["sigma0"]),
+        transfer=TransferMap(
+            sigma_power=int(archive["sigma_power"]),
+            prefactor_power=int(archive["prefactor_power"]),
+        ),
+        port_names=[str(n) for n in archive["port_names"]],
+        source_size=int(archive["source_size"]),
+        guaranteed_stable_passive=bool(archive["guaranteed"]),
+        factorization_method=str(archive["factorization_method"]),
+        direct=archive["direct"] if "direct" in archive else None,
+        output=archive["output"] if "output" in archive else None,
+    )
+
+
+def _load_fitted(archive, path):
+    from repro.fitting.model import FittedModel
+
+    try:
+        metadata = json.loads(str(archive["metadata_json"]))
+    except (KeyError, json.JSONDecodeError):
+        metadata = {}
+    return FittedModel(
+        poles=archive["poles"],
+        residues=archive["residues"],
+        direct=archive["direct"] if "direct" in archive else None,
+        port_names=[str(n) for n in archive["port_names"]],
+        parameter=str(archive["parameter"]),
+        z0=float(archive["z0"]),
+        transfer=TransferMap(
+            sigma_power=int(archive["sigma_power"]),
+            prefactor_power=int(archive["prefactor_power"]),
+        ),
+        metadata=metadata,
+    )
+
+
+def load_model(path: str | pathlib.Path):
     """Load a model previously written by :func:`save_model`.
+
+    Returns a :class:`ReducedOrderModel` or a
+    :class:`~repro.fitting.FittedModel` depending on the archive's
+    ``kind``; v1 archives (no ``kind``) are always reduced-order
+    models.
 
     Raises
     ------
@@ -64,22 +157,15 @@ def load_model(path: str | pathlib.Path) -> ReducedOrderModel:
                     f"model archive format {version} is newer than this "
                     f"library supports ({_FORMAT_VERSION})"
                 )
-            model = ReducedOrderModel(
-                t=archive["t"],
-                delta=archive["delta"],
-                rho=archive["rho"],
-                sigma0=float(archive["sigma0"]),
-                transfer=TransferMap(
-                    sigma_power=int(archive["sigma_power"]),
-                    prefactor_power=int(archive["prefactor_power"]),
-                ),
-                port_names=[str(n) for n in archive["port_names"]],
-                source_size=int(archive["source_size"]),
-                guaranteed_stable_passive=bool(archive["guaranteed"]),
-                factorization_method=str(archive["factorization_method"]),
-                direct=archive["direct"] if "direct" in archive else None,
-                output=archive["output"] if "output" in archive else None,
-            )
+            kind = str(archive["kind"]) if "kind" in archive else "rom"
+            if kind == "rom":
+                model = _load_rom(archive)
+            elif kind == "fitted":
+                model = _load_fitted(archive, path)
+            else:
+                raise ReproError(
+                    f"model archive {path} has unknown kind {kind!r}"
+                )
         except KeyError as exc:
             raise ReproError(
                 f"model archive {path} is missing field {exc}"

@@ -8,6 +8,11 @@ from repro.synthesis.foster import (
     synthesize_foster_lc,
 )
 from repro.synthesis.netlist_synth import SynthesisReport, synthesize_rc
+from repro.synthesis.rational import (
+    RationalSection,
+    rational_sections,
+    synthesize_fitted,
+)
 from repro.synthesis.stamping import StampedSystem, stamp_reduced_model
 
 __all__ = [
@@ -20,6 +25,9 @@ __all__ = [
     "CauerElement",
     "cauer_elements",
     "synthesize_cauer",
+    "RationalSection",
+    "rational_sections",
+    "synthesize_fitted",
     "StampedSystem",
     "stamp_reduced_model",
 ]

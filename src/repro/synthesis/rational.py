@@ -1,0 +1,244 @@
+"""Generalized Foster synthesis for fitted pole-residue one-ports.
+
+A vector-fitted model is a strictly-proper rational matrix plus an
+optional direct term,
+
+``H(s) = D + sum_k R_k / (s - p_k)``,
+
+with stable poles that are real or conjugate pairs.  For one port this
+synthesizes directly into an RLC netlist:
+
+* in the **impedance** domain (``parameter = "Z"``) the sections chain
+  in *series* -- a real pole becomes a parallel R-C block, a conjugate
+  pair becomes the classical biquad block ``C || R1 || (L + R2)``;
+* in the **admittance** domain (``parameter = "Y"``) the dual network
+  hangs each branch in *parallel* between the port and ground -- a
+  real pole becomes a series R-L branch, a pair the dual biquad
+  ``L + R1 + (C || R2)`` (Gustavsen's RLC branch).
+
+Element values may be negative when the fitted section is not itself
+positive-real -- same policy as :mod:`repro.synthesis.foster`: the
+netlist still re-assembles to exactly ``H(s)`` (round-trip tested) and
+SPICE accepts it, but only passivity-enforced models are guaranteed
+physical.  Multi-port models synthesize one *driving-point* entry
+``H_ii`` at a time (``port=`` selects which).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.errors import SynthesisError
+
+__all__ = ["RationalSection", "rational_sections", "synthesize_fitted"]
+
+
+@dataclass(frozen=True)
+class RationalSection:
+    """One synthesized block of the scalar partial-fraction expansion.
+
+    ``kind = "direct"``: the constant term (series resistor in Z,
+    shunt resistor in Y); only ``r1`` is set.
+
+    ``kind = "real"``: the term ``r / (s - p)``; ``c`` and ``r1`` hold
+    the two-element block (parallel R-C in Z, series R-L in Y, with
+    the inductor value stored in ``c``).
+
+    ``kind = "pair"``: the term ``(c1 s + c0) / (s^2 + b1 s + b0)``
+    from a conjugate pole pair; ``c``, ``r1``, ``l``, ``r2`` hold the
+    four-element biquad block (``r1``/``r2`` may be ``inf`` when the
+    corresponding dissipative element drops out).
+    """
+
+    kind: str
+    c: float = 0.0
+    r1: float = float("inf")
+    l: float = 0.0
+    r2: float = float("inf")
+
+
+def _scalar_terms(model, port_index: int, tol: float):
+    """Collapse one diagonal entry to (direct, real terms, pair terms)."""
+    residues = np.asarray(model.residues)[:, port_index, port_index]
+    poles = np.asarray(model.poles)
+    direct = 0.0
+    if model.direct is not None:
+        direct = float(np.asarray(model.direct)[port_index, port_index].real)
+    scale = max(float(np.abs(residues).max(initial=0.0)), 1e-300)
+    reals: list[tuple[float, float]] = []
+    pairs: list[tuple[complex, complex]] = []
+    for kind, k in model._blocks:
+        if abs(residues[k]) <= tol * scale:
+            continue
+        if kind == "r":
+            reals.append((float(residues[k].real), float(poles[k].real)))
+        else:
+            pairs.append((residues[k], poles[k]))
+    return direct, reals, pairs
+
+
+def rational_sections(model, *, port: int | str | None = None,
+                      tol: float = 1e-14) -> list[RationalSection]:
+    """Partial-fraction blocks of one driving-point entry of ``model``.
+
+    Element values are computed in the model's own domain (Z or Y);
+    :func:`synthesize_fitted` maps them onto the series or parallel
+    topology.  Raises :class:`SynthesisError` for scattering-domain
+    models, for a pair whose linear numerator coefficient vanishes
+    (``2 Re R_k = 0``: not realizable as the standard biquad block),
+    and when every term is negligible.
+    """
+    if model.parameter not in ("Z", "Y"):
+        raise SynthesisError(
+            "rational synthesis needs an immittance-domain model; "
+            "re-fit with domain='Z' or domain='Y' (got "
+            f"parameter={model.parameter!r})"
+        )
+    index = _resolve_port(model, port)
+    direct, reals, pairs = _scalar_terms(model, index, tol)
+
+    sections: list[RationalSection] = []
+    if direct != 0.0:
+        sections.append(RationalSection("direct", r1=direct))
+    for r, p in reals:
+        # r/(s - p) = (1/C) / (s + 1/(R C)) with C = 1/r, R = -r/p
+        if r == 0.0:
+            continue
+        sections.append(RationalSection("real", c=1.0 / r, r1=-r / p))
+    for residue, pole in pairs:
+        # c/(s-p) + conj = (c1 s + c0)/(s^2 + b1 s + b0)
+        c1 = 2.0 * residue.real
+        c0 = -2.0 * (residue * np.conj(pole)).real
+        b1 = -2.0 * pole.real
+        b0 = float(abs(pole)) ** 2
+        if abs(c1) <= tol * max(abs(c0) / max(b0, 1e-300) ** 0.5, 1.0):
+            raise SynthesisError(
+                "conjugate-pair section has a vanishing linear numerator "
+                "coefficient (2 Re R_k ~ 0); the standard biquad block "
+                "cannot realize it -- refit or perturb the residues"
+            )
+        # long division of the block's inverse:
+        #   (s^2 + b1 s + b0)/(c1 s + c0)
+        #     = s/c1 + g1 + (b0 - c0 g1)/(c1 s + c0),  g1 = (b1 - c0/c1)/c1
+        g1 = (b1 - c0 / c1) / c1
+        rem = b0 - c0 * g1
+        r1 = 1.0 / g1 if g1 != 0.0 else float("inf")
+        if rem == 0.0:
+            l, r2 = 0.0, float("inf")  # branch drops out entirely
+        else:
+            l = c1 / rem
+            r2 = c0 * l / c1
+        sections.append(
+            RationalSection("pair", c=1.0 / c1, r1=r1, l=l, r2=r2)
+        )
+    if not sections:
+        raise SynthesisError("model has no non-negligible sections")
+    return sections
+
+
+def _resolve_port(model, port) -> int:
+    names = list(model.port_names)
+    if port is None:
+        if model.num_ports != 1:
+            raise SynthesisError(
+                f"model has {model.num_ports} ports "
+                f"({', '.join(names)}); pass port= to pick the "
+                "driving-point entry to synthesize"
+            )
+        return 0
+    if isinstance(port, str):
+        try:
+            return names.index(port)
+        except ValueError:
+            raise SynthesisError(
+                f"unknown port {port!r}; model ports: {', '.join(names)}"
+            ) from None
+    index = int(port)
+    if not 0 <= index < model.num_ports:
+        raise SynthesisError(
+            f"port index {index} out of range for {model.num_ports} ports"
+        )
+    return index
+
+
+def synthesize_fitted(
+    model,
+    *,
+    port: int | str | None = None,
+    tol: float = 1e-14,
+    title: str = "",
+) -> Netlist:
+    """RLC netlist realizing one driving-point entry of a fitted model.
+
+    Impedance models chain the blocks in series from the port to
+    ground; admittance models hang the dual branches in parallel.  The
+    returned netlist re-assembles (``assemble_mna`` + exact sweep) to
+    the scalar response ``H_ii(s)`` of the fitted model.
+    """
+    sections = rational_sections(model, port=port, tol=tol)
+    index = _resolve_port(model, port)
+    port_name = model.port_names[index] if model.port_names else "port"
+    net = Netlist(
+        title
+        or f"fitted {model.parameter} one-port, {len(sections)} sections"
+    )
+    net.port(port_name, "n0")
+    if model.parameter == "Z":
+        _chain_series(net, sections)
+    else:
+        _hang_parallel(net, sections)
+    return net
+
+
+def _chain_series(net: Netlist, sections: list[RationalSection]) -> None:
+    previous = "n0"
+    for k, section in enumerate(sections):
+        nxt = "0" if k == len(sections) - 1 else f"n{k + 1}"
+        if section.kind == "direct":
+            net.resistor(f"Rd{k}", previous, nxt, section.r1)
+        elif section.kind == "real":
+            net.capacitor(f"C{k}", previous, nxt, section.c)
+            net.resistor(f"R{k}", previous, nxt, section.r1)
+        else:  # pair: C || R1 || (L + R2) between the two nodes
+            net.capacitor(f"C{k}", previous, nxt, section.c)
+            if np.isfinite(section.r1):
+                net.resistor(f"R{k}a", previous, nxt, section.r1)
+            if section.l != 0.0:
+                if section.r2 != 0.0:
+                    mid = f"n{k}m"
+                    net.inductor(f"L{k}", previous, mid, section.l)
+                    net.resistor(f"R{k}b", mid, nxt, section.r2)
+                else:
+                    net.inductor(f"L{k}", previous, nxt, section.l)
+        previous = nxt
+
+
+def _hang_parallel(net: Netlist, sections: list[RationalSection]) -> None:
+    # dual network: every Z-block element value maps to its reciprocal
+    # (series R <-> shunt G, parallel C <-> series L, ...)
+    for k, section in enumerate(sections):
+        if section.kind == "direct":
+            net.resistor(f"Rd{k}", "n0", "0", 1.0 / section.r1)
+        elif section.kind == "real":
+            # series L-R branch: L = 1/r, R = -p/r = 1/section.r1
+            mid = f"b{k}m"
+            net.inductor(f"L{k}", "n0", mid, section.c)
+            net.resistor(f"R{k}", mid, "0", 1.0 / section.r1)
+        else:  # dual biquad: L + R1 + (C || R2) down to ground
+            has_r1 = np.isfinite(section.r1)
+            has_tail = section.l != 0.0
+            # plan the series chain so its last element lands on ground
+            after_l = f"b{k}a" if (has_r1 or has_tail) else "0"
+            net.inductor(f"L{k}", "n0", after_l, section.c)
+            node = after_l
+            if has_r1:
+                nxt = f"b{k}b" if has_tail else "0"
+                net.resistor(f"R{k}a", node, nxt, 1.0 / section.r1)
+                node = nxt
+            if has_tail:
+                net.capacitor(f"C{k}", node, "0", section.l)
+                if section.r2 != 0.0:
+                    net.resistor(f"R{k}b", node, "0", 1.0 / section.r2)

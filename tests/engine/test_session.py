@@ -81,7 +81,7 @@ class TestEngineSession:
         assert stats["workers"] == min(2, os.cpu_count() or 1)
         assert stats["cache"]["memory_entries"] == 1
         assert set(stats["wall_seconds"]) == {
-            "reduce", "compile", "sweep", "transient"
+            "reduce", "compile", "sweep", "transient", "fit"
         }
 
     def test_monitor_sees_cache_and_compile(self, rc_two_port_system):

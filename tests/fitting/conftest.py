@@ -1,0 +1,68 @@
+"""Shared fixtures for the fitting test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fitting import FittedModel
+
+
+def rational_eval(s, poles, residues, direct=None):
+    """Oracle: direct partial-fraction evaluation, independent of
+    :class:`FittedModel`'s vectorized implementation."""
+    s = np.atleast_1d(np.asarray(s, dtype=complex))
+    p = residues.shape[1]
+    out = np.zeros((s.size, p, p), dtype=complex)
+    for k, sk in enumerate(s):
+        for pole, res in zip(poles, residues):
+            out[k] += res / (sk - pole)
+        if direct is not None:
+            out[k] += direct
+    return out
+
+
+@pytest.fixture
+def synthetic_poles():
+    """Stable conjugate-closed pole set: 2 real + 2 pairs."""
+    return np.array(
+        [
+            -3.0e8,
+            -9.0e8,
+            -5.0e7 + 1j * 8.0e8,
+            -5.0e7 - 1j * 8.0e8,
+            -1.2e8 + 1j * 3.0e9,
+            -1.2e8 - 1j * 3.0e9,
+        ],
+        dtype=complex,
+    )
+
+
+@pytest.fixture
+def synthetic_model(synthetic_poles):
+    """Symmetric 2-port impedance model with a known expansion."""
+    rng = np.random.default_rng(11)
+    residues = np.empty((6, 2, 2), dtype=complex)
+    for k in (0, 1):
+        sym = rng.standard_normal((2, 2))
+        residues[k] = 1e10 * (sym + sym.T)
+    for k in (2, 4):
+        re = rng.standard_normal((2, 2))
+        im = rng.standard_normal((2, 2))
+        block = 1e10 * ((re + re.T) + 1j * (im + im.T))
+        residues[k] = block
+        residues[k + 1] = np.conj(block)
+    return FittedModel(
+        poles=synthetic_poles,
+        residues=residues,
+        direct=np.array([[30.0, 5.0], [5.0, 20.0]]),
+        port_names=["a", "b"],
+        parameter="Z",
+    )
+
+
+@pytest.fixture
+def synthetic_sweep(synthetic_model):
+    """(s, h) samples of the synthetic model on a log grid."""
+    s = 1j * 2 * np.pi * np.logspace(7, 10, 120)
+    return s, synthetic_model.matrices(s)

@@ -1,0 +1,123 @@
+"""Golden-file fit of the lossy Fig. 2 PEEC testbed.
+
+``tests/data/peec30_fig2.s2p`` is a committed exact Z sweep of
+``peec_like_lc(n_cells=30, seed=7)`` with a far-end sense port and
+2 kOhm shunt loss per node.  The whole tabulated-data pipeline runs
+against it: Touchstone read, cache-aware ``Engine.fit``, compiled
+engine sweep, passivity enforcement, serialization, comparison
+tooling, and SPICE synthesis.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_sweeps, max_relative_error
+from repro.engine import Engine
+from repro.fitting import (
+    assess_passivity,
+    enforce_model_passivity,
+    read_touchstone,
+)
+from repro.io import load_model, save_model
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "data" / "peec30_fig2.s2p"
+
+
+@pytest.fixture(scope="module")
+def golden_data():
+    return read_touchstone(GOLDEN)
+
+
+@pytest.fixture(scope="module")
+def engine_and_model(golden_data):
+    engine = Engine()
+    model = engine.fit(golden_data, num_poles=40, domain="Z")
+    return engine, model
+
+
+class TestGoldenFit:
+    def test_file_shape(self, golden_data):
+        assert golden_data.num_ports == 2
+        assert golden_data.num_points == 80
+        assert golden_data.parameter == "Z"
+        assert golden_data.port_names == ["drive", "sense"]
+
+    def test_fit_error_below_1e8(self, engine_and_model, golden_data):
+        engine, model = engine_and_model
+        assert model.report.converged
+        response = engine.sweep(model, golden_data.s_values)
+        err = max_relative_error(response.z, golden_data.in_domain("Z"))
+        assert err <= 1e-8
+
+    def test_compiled_sweep_is_spectral(self, engine_and_model):
+        engine, model = engine_and_model
+        compiled = engine.compile(model)
+        assert compiled.is_spectral
+        assert compiled.order == model.order
+
+    def test_passivity_after_enforcement(self, engine_and_model,
+                                         golden_data):
+        engine, model = engine_and_model
+        enforced = enforce_model_passivity(model)
+        report = assess_passivity(enforced)
+        assert report.passive
+        # the (already nearly passive) fit is not distorted by it
+        response = engine.sweep(enforced, golden_data.s_values)
+        err = max_relative_error(response.z, golden_data.in_domain("Z"))
+        assert err <= 1e-6
+
+    def test_refit_hits_the_cache(self, engine_and_model, golden_data):
+        engine, model = engine_and_model
+        fits_before = engine.stats_.fits
+        again = engine.fit(golden_data, num_poles=40, domain="Z")
+        assert engine.stats_.fits == fits_before
+        assert again is model
+
+    def test_different_options_miss_the_cache(self, engine_and_model,
+                                              golden_data):
+        engine, _ = engine_and_model
+        fits_before = engine.stats_.fits
+        engine.fit(golden_data, num_poles=38, domain="Z")
+        assert engine.stats_.fits == fits_before + 1
+
+    def test_save_load_round_trip(self, engine_and_model, golden_data,
+                                  tmp_path):
+        engine, model = engine_and_model
+        path = tmp_path / "fitted.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        s = golden_data.s_values
+        np.testing.assert_allclose(
+            loaded.matrices(s), model.matrices(s), rtol=1e-12
+        )
+        assert loaded.port_names == ["drive", "sense"]
+        assert loaded.metadata["fit"]["error"] == model.report.error
+
+    def test_compare_sweeps_against_the_table(self, engine_and_model,
+                                              golden_data):
+        engine, model = engine_and_model
+        out = compare_sweeps(
+            golden_data, [model], engine=engine, labels=["fit"]
+        )
+        entry = out["models"][0]
+        assert entry["max_rel"] <= 1e-8
+        assert set(entry["per_port"]) == {
+            "(0,0)", "(0,1)", "(1,0)", "(1,1)"
+        }
+        assert all(v <= 1e-8 for v in entry["per_port"].values())
+
+    def test_spice_export_round_trip(self, engine_and_model, golden_data):
+        from repro.circuits import assemble_mna, parse_netlist, write_netlist
+        from repro.synthesis import synthesize_fitted
+
+        engine, model = engine_and_model
+        net = synthesize_fitted(model, port="drive")
+        text = write_netlist(net)
+        rebuilt = assemble_mna(parse_netlist(text))
+        s = golden_data.s_values
+        response = engine.sweep(rebuilt, s)
+        expected = model.matrices(s)[:, 0, 0]
+        err = max_relative_error(response.z[:, 0, 0], expected)
+        assert err <= 1e-6

@@ -1,0 +1,163 @@
+"""Unit tests for passivity assessment and enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError
+from repro.fitting import (
+    FittedModel,
+    assess_passivity,
+    enforce_model_passivity,
+    passivity_crossings,
+)
+from repro.robustness import HealthMonitor
+
+
+def brute_force_margin(model, points=4000):
+    scale = np.abs(model.poles)
+    grid = np.geomspace(scale.min() / 10.0, scale.max() * 10.0, points)
+    h = model.matrices(1j * grid)
+    worst = np.inf
+    for hk in h:
+        worst = min(
+            worst, float(np.linalg.eigvalsh(0.5 * (hk + hk.conj().T)).min())
+        )
+    return worst
+
+
+def passive_model(direct_scale=1.0):
+    """Strictly passive symmetric 2-port Z model (diagonally dominant)."""
+    poles = np.array(
+        [-4e8, -3e7 + 1j * 9e8, -3e7 - 1j * 9e8], dtype=complex
+    )
+    residues = np.zeros((3, 2, 2), dtype=complex)
+    residues[0] = np.array([[5e9, 1e9], [1e9, 4e9]])
+    block = np.array([[2e8 + 1e8j, 3e7], [3e7, 1.5e8 + 8e7j]])
+    residues[1] = block
+    residues[2] = np.conj(block)
+    return FittedModel(
+        poles=poles,
+        residues=residues,
+        direct=direct_scale * np.array([[40.0, 4.0], [4.0, 30.0]]),
+        parameter="Z",
+    )
+
+
+def violating_model():
+    """A model with a genuine finite-band passivity violation."""
+    poles = np.array([-4e8, -3e7 + 1j * 9e8, -3e7 - 1j * 9e8],
+                     dtype=complex)
+    residues = np.zeros((3, 2, 2), dtype=complex)
+    residues[0] = np.array([[5e9, 1e9], [1e9, 4e9]])
+    # large skewed complex residue: dips Herm H negative near resonance
+    block = np.array([[-3e9 + 2e9j, 1e9], [1e9, -2e9 + 1e9j]])
+    residues[1] = block
+    residues[2] = np.conj(block)
+    return FittedModel(
+        poles=poles,
+        residues=residues,
+        direct=np.array([[25.0, 2.0], [2.0, 20.0]]),
+        parameter="Z",
+    )
+
+
+class TestCrossings:
+    def test_half_size_and_hamiltonian_agree(self):
+        model = violating_model()
+        half, used_half = passivity_crossings(model, method="half-size")
+        ham, used_ham = passivity_crossings(model, method="hamiltonian")
+        assert used_half == "half-size"
+        assert used_ham == "hamiltonian"
+        assert half.size == ham.size > 0
+        np.testing.assert_allclose(half, ham, rtol=1e-6)
+
+    def test_passive_model_has_no_crossings(self):
+        crossings, _ = passivity_crossings(passive_model())
+        assert crossings.size == 0
+
+    def test_auto_uses_half_size_for_symmetric(self):
+        _, used = passivity_crossings(violating_model(), method="auto")
+        assert used == "half-size"
+
+    def test_singular_direct_falls_back_to_sampling(self):
+        model = passive_model()
+        model.direct = None
+        crossings, used = passivity_crossings(model)
+        assert used == "sampled"
+        assert crossings.size == 0
+
+    def test_scattering_domain_rejected(self):
+        model = passive_model()
+        model.parameter = "S"
+        with pytest.raises(FittingError):
+            passivity_crossings(model)
+
+
+class TestAssess:
+    def test_passive_model(self):
+        report = assess_passivity(passive_model())
+        assert report.passive
+        assert not report.violations
+        assert report.asymptotic_ok
+
+    def test_violating_model_located(self):
+        model = violating_model()
+        report = assess_passivity(model)
+        assert not report.passive
+        assert report.violations
+        brute = brute_force_margin(model)
+        assert report.worst_margin == pytest.approx(brute, rel=1e-2)
+        assert any(
+            lo < report.worst_omega < hi for lo, hi in report.violations
+        )
+
+    def test_monitor_event(self):
+        monitor = HealthMonitor()
+        assess_passivity(passive_model(), monitor=monitor)
+        events = [e for e in monitor.events if e.category == "fit.passivity"]
+        assert events and events[0].data["stage"] == "assess"
+
+
+class TestEnforce:
+    def test_repairs_violation_by_residue_perturbation(self):
+        model = violating_model()
+        assert brute_force_margin(model) < 0
+        fixed = enforce_model_passivity(model)
+        assert fixed.metadata["passivity"]["passive"] is True
+        assert brute_force_margin(fixed) >= -1e-6
+        # same poles: enforcement only perturbs residues / direct
+        np.testing.assert_array_equal(fixed.poles, model.poles)
+
+    def test_passive_model_is_untouched(self):
+        model = passive_model()
+        fixed = enforce_model_passivity(model)
+        np.testing.assert_array_equal(fixed.residues, model.residues)
+        assert fixed.metadata["passivity"]["padding"] == 0.0
+
+    def test_margin_request(self):
+        fixed = enforce_model_passivity(violating_model(), margin=1e-3)
+        assert brute_force_margin(fixed) >= 1e-3 * 0.5
+
+    def test_padding_fallback_guarantees_passivity(self):
+        model = violating_model()
+        # forbid perturbation rounds: padding alone must still succeed
+        fixed = enforce_model_passivity(model, max_iterations=1)
+        assert fixed.metadata["passivity"]["passive"] is True
+        assert brute_force_margin(fixed) >= -1e-9
+
+    def test_scattering_domain_rejected(self):
+        model = passive_model()
+        model.parameter = "S"
+        with pytest.raises(FittingError):
+            enforce_model_passivity(model)
+
+    def test_monitor_reports_stages(self):
+        monitor = HealthMonitor()
+        enforce_model_passivity(violating_model(), monitor=monitor)
+        stages = {
+            e.data.get("stage")
+            for e in monitor.events
+            if e.category == "fit.passivity"
+        }
+        assert "assess" in stages
+        assert "done" in stages

@@ -1,0 +1,192 @@
+"""Unit tests for the Touchstone v1 reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TouchstoneFormatError
+from repro.fitting import TouchstoneData, read_touchstone, write_touchstone
+
+
+def sample_data(p=2, m=7, parameter="S", z0=50.0, seed=0):
+    rng = np.random.default_rng(seed)
+    f = np.logspace(6, 9, m)
+    mats = rng.standard_normal((m, p, p)) + 1j * rng.standard_normal((m, p, p))
+    return TouchstoneData(
+        frequency_hz=f, matrices=mats, parameter=parameter, z0=z0
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fmt", ["RI", "MA", "DB"])
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_formats_and_port_counts(self, tmp_path, fmt, p):
+        data = sample_data(p=p)
+        path = tmp_path / f"net.s{p}p"
+        write_touchstone(path, data, fmt=fmt)
+        back = read_touchstone(path)
+        assert back.parameter == "S"
+        assert back.num_ports == p
+        np.testing.assert_allclose(back.frequency_hz, data.frequency_hz,
+                                   rtol=1e-10)
+        np.testing.assert_allclose(back.matrices, data.matrices,
+                                   rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("parameter", ["Z", "Y"])
+    def test_immittance_v1_normalization(self, tmp_path, parameter):
+        # v1 stores Z/z0 and Y*z0; the reader must denormalize to SI
+        data = sample_data(p=2, parameter=parameter, z0=75.0)
+        path = tmp_path / "net.s2p"
+        write_touchstone(path, data)
+        text = path.read_text()
+        stored = float(text.splitlines()[1].split()[1])
+        norm = 1.0 / 75.0 if parameter == "Z" else 75.0
+        assert stored == pytest.approx(data.matrices[0, 0, 0].real * norm)
+        back = read_touchstone(path)
+        assert back.parameter == parameter
+        assert back.z0 == 75.0
+        np.testing.assert_allclose(back.matrices, data.matrices, rtol=1e-9)
+
+    @pytest.mark.parametrize("unit", ["HZ", "KHZ", "MHZ", "GHZ"])
+    def test_units(self, tmp_path, unit):
+        data = sample_data()
+        path = tmp_path / "net.s2p"
+        write_touchstone(path, data, unit=unit)
+        back = read_touchstone(path)
+        np.testing.assert_allclose(back.frequency_hz, data.frequency_hz,
+                                   rtol=1e-10)
+
+    def test_port_names_survive(self, tmp_path):
+        data = sample_data(p=2)
+        data.port_names = ["drive", "sense"]
+        path = tmp_path / "net.s2p"
+        write_touchstone(path, data)
+        back = read_touchstone(path)
+        assert back.port_names == ["drive", "sense"]
+        # the annotations are structured, not left as loose comments
+        assert not any("Port[" in c for c in back.comments)
+
+    def test_comments_survive(self, tmp_path):
+        data = sample_data()
+        data.comments = ["made by a field solver"]
+        path = tmp_path / "net.s2p"
+        write_touchstone(path, data, comments=["second line"])
+        back = read_touchstone(path)
+        assert back.comments == ["made by a field solver", "second line"]
+
+
+class TestSpecQuirks:
+    def test_defaults_are_ghz_s_ma_50(self, tmp_path):
+        # a file with no option line takes the spec's defaults
+        path = tmp_path / "bare.s1p"
+        path.write_text("1.0 0.5 45.0\n2.0 0.25 -30.0\n")
+        data = read_touchstone(path)
+        assert data.parameter == "S"
+        assert data.z0 == 50.0
+        np.testing.assert_allclose(data.frequency_hz, [1e9, 2e9])
+        expected = 0.5 * np.exp(1j * np.pi / 4)
+        assert data.matrices[0, 0, 0] == pytest.approx(expected)
+
+    def test_two_port_column_major(self, tmp_path):
+        # 2-port data order is S11 S21 S12 S22 (the v1 exception)
+        path = tmp_path / "two.s2p"
+        path.write_text(
+            "# HZ S RI R 50\n"
+            "1e6 11 0 21 0 12 0 22 0\n"
+        )
+        data = read_touchstone(path)
+        assert data.matrices[0, 0, 0] == 11
+        assert data.matrices[0, 1, 0] == 21
+        assert data.matrices[0, 0, 1] == 12
+        assert data.matrices[0, 1, 1] == 22
+
+    def test_three_port_row_major(self, tmp_path):
+        path = tmp_path / "three.s3p"
+        values = " ".join(f"{10 * (i + 1) + j + 1} 0"
+                          for i in range(3) for j in range(3))
+        path.write_text(f"# HZ S RI R 50\n1e6 {values}\n")
+        data = read_touchstone(path)
+        assert data.matrices[0, 0, 2] == 13
+        assert data.matrices[0, 2, 0] == 31
+
+    def test_two_port_noise_block_is_truncated(self, tmp_path):
+        # frequency decrease after 2-port network data starts the
+        # noise-parameter block; everything after it is ignored
+        path = tmp_path / "noisy.s2p"
+        path.write_text(
+            "# HZ S RI R 50\n"
+            "1e6 1 0 0 0 0 0 1 0\n"
+            "2e6 2 0 0 0 0 0 2 0\n"
+            "1e6 3.0 0.5 0.6 0.7 0.8\n"
+        )
+        data = read_touchstone(path)
+        assert data.num_points == 2
+        np.testing.assert_allclose(data.frequency_hz, [1e6, 2e6])
+
+    def test_trailing_data_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.s1p"
+        path.write_text("# HZ S RI R 50\n1e6 1 0\n2e6 1\n")
+        with pytest.raises(TouchstoneFormatError) as err:
+            read_touchstone(path)
+        assert err.value.line_number == 3
+
+    def test_multiple_option_lines_raise(self, tmp_path):
+        path = tmp_path / "bad.s1p"
+        path.write_text("# HZ S RI R 50\n# GHZ\n1e6 1 0\n")
+        with pytest.raises(TouchstoneFormatError) as err:
+            read_touchstone(path)
+        assert err.value.line_number == 2
+
+    def test_port_count_from_extension_checked(self, tmp_path):
+        data = sample_data(p=2)
+        with pytest.raises(TouchstoneFormatError):
+            write_touchstone(tmp_path / "net.s3p", data)
+
+    def test_unknown_extension_needs_explicit_ports(self, tmp_path):
+        data = sample_data(p=2)
+        path = tmp_path / "net.s2p"
+        write_touchstone(path, data)
+        renamed = tmp_path / "net.dat"
+        renamed.write_text(path.read_text())
+        with pytest.raises(TouchstoneFormatError):
+            read_touchstone(renamed)
+        back = read_touchstone(renamed, num_ports=2)
+        np.testing.assert_allclose(back.matrices, data.matrices, rtol=1e-9)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TouchstoneFormatError):
+            read_touchstone(tmp_path / "nope.s2p")
+
+
+class TestDomainConversions:
+    def test_s_z_y_consistency(self, tmp_path):
+        data = sample_data(p=2, parameter="S", z0=50.0, seed=3)
+        z = data.impedance()
+        y = data.admittance()
+        for k in range(data.num_points):
+            np.testing.assert_allclose(
+                z[k] @ y[k], np.eye(2), rtol=1e-8, atol=1e-10
+            )
+        back = TouchstoneData(
+            frequency_hz=data.frequency_hz, matrices=z, parameter="Z",
+            z0=50.0,
+        )
+        np.testing.assert_allclose(
+            back.scattering(), data.matrices, rtol=1e-8, atol=1e-10
+        )
+
+    def test_write_in_other_domain(self, tmp_path):
+        data = sample_data(p=2, parameter="Z", seed=5)
+        path = tmp_path / "net.s2p"
+        write_touchstone(path, data, parameter="S")
+        back = read_touchstone(path)
+        assert back.parameter == "S"
+        np.testing.assert_allclose(
+            back.impedance(), data.matrices, rtol=1e-8, atol=1e-9
+        )
+
+    def test_to_response_is_impedance(self):
+        data = sample_data(p=2, parameter="S", seed=7)
+        response = data.to_response(label="tab")
+        np.testing.assert_allclose(response.z, data.impedance())
+        np.testing.assert_allclose(response.s, data.s_values)
+        assert response.label == "tab"

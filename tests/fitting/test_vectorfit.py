@@ -1,0 +1,201 @@
+"""Unit tests for relaxed vector fitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError
+from repro.fitting import (
+    FittedModel,
+    TouchstoneData,
+    fit_touchstone,
+    initial_poles,
+    vector_fit,
+)
+from repro.robustness import HealthMonitor
+
+
+class TestInitialPoles:
+    def test_pairs_are_conjugate_closed(self):
+        s = 1j * np.logspace(8, 10, 50)
+        poles = initial_poles(s, 8)
+        model_like = np.sort_complex(poles)
+        assert poles.shape == (8,)
+        np.testing.assert_allclose(
+            np.sort_complex(np.conj(poles)), model_like
+        )
+        assert np.all(poles.real < 0)
+
+    def test_real_pole_request(self):
+        s = 1j * np.logspace(8, 10, 50)
+        poles = initial_poles(s, 7, num_real=3)
+        assert np.sum(np.abs(poles.imag) == 0.0) >= 3
+
+    def test_odd_complex_count_gets_extra_real(self):
+        s = 1j * np.logspace(8, 10, 50)
+        poles = initial_poles(s, 5)
+        # 5 poles cannot be all pairs: at least one real
+        assert np.sum(np.abs(poles.imag) == 0.0) >= 1
+
+
+class TestVectorFit:
+    def test_exact_recovery_at_matching_order(self, synthetic_model,
+                                              synthetic_sweep):
+        s, h = synthetic_sweep
+        model = vector_fit(s, h, num_poles=6, iterations=20)
+        assert model.report.converged
+        np.testing.assert_allclose(
+            np.sort_complex(model.poles),
+            np.sort_complex(synthetic_model.poles),
+            rtol=1e-6,
+        )
+        err = np.abs(model.matrices(s) - h).max() / np.abs(h).max()
+        assert err < 1e-9
+
+    def test_fast_and_naive_solvers_agree(self, synthetic_sweep):
+        s, h = synthetic_sweep
+        fast = vector_fit(s, h, num_poles=6, solver="fast")
+        naive = vector_fit(s, h, num_poles=6, solver="naive")
+        np.testing.assert_allclose(
+            np.sort_complex(fast.poles), np.sort_complex(naive.poles),
+            rtol=1e-6,
+        )
+        assert fast.report.error < 1e-9
+        assert naive.report.error < 1e-9
+
+    def test_scalar_input_promotes_to_one_port(self):
+        s = 1j * np.logspace(8, 10, 60)
+        h = 5e9 / (s + 3e8) + 2e9 / (s + 1e9)
+        model = vector_fit(s, h, num_poles=2)
+        assert model.num_ports == 1
+        assert model.report.error < 1e-10
+
+    def test_stability_is_enforced(self, synthetic_sweep):
+        s, h = synthetic_sweep
+        model = vector_fit(s, h, num_poles=10)
+        assert model.is_stable()
+
+    def test_monitor_events(self, synthetic_sweep):
+        s, h = synthetic_sweep
+        monitor = HealthMonitor()
+        vector_fit(s, h, num_poles=6, monitor=monitor)
+        events = [e.category for e in monitor.events]
+        assert "fit.iteration" in events
+        assert "fit.converged" in events
+        converged = [
+            e for e in monitor.events if e.category == "fit.converged"
+        ]
+        assert converged[-1].data["converged"] is True
+
+    def test_report_lives_in_metadata(self, synthetic_sweep):
+        s, h = synthetic_sweep
+        model = vector_fit(s, h, num_poles=6)
+        assert model.metadata["fit"]["error"] == model.report.error
+        assert model.metadata["fit"]["num_poles"] == 6
+
+    def test_weights_bias_the_fit(self):
+        rng = np.random.default_rng(2)
+        s = 1j * np.logspace(8, 10, 80)
+        h = (4e9 / (s + 2e8) + 3e9 / (s + 2e9)
+             + 0.05 * rng.standard_normal(s.size))
+        weights = np.ones(s.size)
+        weights[:40] = 100.0
+        weighted = vector_fit(s, h, num_poles=2, weights=weights)
+        flat = vector_fit(s, h, num_poles=2)
+        low = slice(0, 40)
+        err_w = np.abs(weighted.matrices(s)[low, 0, 0] - h[low]).max()
+        err_f = np.abs(flat.matrices(s)[low, 0, 0] - h[low]).max()
+        assert err_w <= err_f * 1.5
+
+    def test_rejects_mismatched_shapes(self):
+        s = 1j * np.logspace(8, 10, 10)
+        with pytest.raises(FittingError):
+            vector_fit(s, np.zeros((5, 2, 2)), num_poles=2)
+
+    def test_rejects_more_unknowns_than_samples(self):
+        s = 1j * np.logspace(8, 10, 4)
+        h = 1.0 / (s + 1e8)
+        with pytest.raises(FittingError):
+            vector_fit(s, h, num_poles=40)
+
+
+class TestFitTouchstone:
+    def test_fits_in_requested_domain(self, synthetic_model,
+                                      synthetic_sweep):
+        s, h = synthetic_sweep
+        data = TouchstoneData(
+            frequency_hz=s.imag / (2 * np.pi), matrices=h, parameter="Z",
+            port_names=["a", "b"],
+        )
+        model = fit_touchstone(data, num_poles=6, domain="Z")
+        assert model.parameter == "Z"
+        assert model.port_names == ["a", "b"]
+        assert model.report.error < 1e-9
+
+    def test_default_domain_is_files_own(self, synthetic_sweep):
+        s, h = synthetic_sweep
+        data = TouchstoneData(
+            frequency_hz=s.imag / (2 * np.pi), matrices=h, parameter="Z",
+        )
+        model = fit_touchstone(data, num_poles=6)
+        assert model.parameter == "Z"
+
+
+class TestFittedModel:
+    def test_rejects_unpaired_complex_poles(self):
+        with pytest.raises(FittingError):
+            FittedModel(
+                poles=np.array([-1e8 + 1j * 1e9, -2e8]),
+                residues=np.ones((2, 1, 1), dtype=complex),
+            )
+
+    def test_rejects_pole_at_origin(self):
+        with pytest.raises(FittingError):
+            FittedModel(
+                poles=np.array([0.0 + 0.0j]),
+                residues=np.ones((1, 1, 1), dtype=complex),
+            )
+
+    def test_matrices_match_oracle(self, synthetic_model):
+        from tests.fitting.conftest import rational_eval
+
+        s = 1j * np.logspace(7, 10, 15)
+        expected = rational_eval(
+            s, synthetic_model.poles, synthetic_model.residues,
+            synthetic_model.direct,
+        )
+        np.testing.assert_allclose(
+            synthetic_model.matrices(s), expected, rtol=1e-12
+        )
+
+    def test_state_space_matches_matrices(self, synthetic_model):
+        a, b, c, d = synthetic_model.to_state_space()
+        s = 1j * 2 * np.pi * np.logspace(7.5, 9.5, 7)
+        for sk in s:
+            resolvent = np.linalg.solve(
+                sk * np.eye(a.shape[0]) - a, b
+            )
+            np.testing.assert_allclose(
+                c @ resolvent + d, synthetic_model.matrices(sk),
+                rtol=1e-8,
+            )
+
+    def test_to_rom_preserves_response(self, synthetic_model):
+        rom = synthetic_model.to_rom()
+        s = 1j * 2 * np.pi * np.logspace(7.5, 9.5, 30)
+        np.testing.assert_allclose(
+            rom.impedance(s), synthetic_model.matrices(s),
+            rtol=1e-8, atol=1e-8 * np.abs(synthetic_model.matrices(s)).max(),
+        )
+        assert rom.factorization_method == "vector-fit"
+        assert rom.metadata["fitted"] is True
+
+    def test_impedance_converts_domains(self, synthetic_model):
+        s = 1j * 2 * np.pi * np.logspace(8, 9, 5)
+        as_y = synthetic_model.with_updates()
+        as_y.parameter = "Y"
+        y_as_z = as_y.impedance(s)
+        for k in range(s.size):
+            np.testing.assert_allclose(
+                y_as_z[k] @ synthetic_model.matrices(s)[k], np.eye(2),
+                rtol=1e-9, atol=1e-12,
+            )

@@ -6,7 +6,7 @@ random expansion shifts.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 import repro
@@ -55,6 +55,9 @@ def test_guaranteed_passivity_every_order(kind, n, seed, order):
 
 @given(n=sizes, seed=seeds, order=orders)
 @settings(max_examples=25, deadline=None)
+# degenerate circuit whose whole T is roundoff-level: a spurious
+# near-infinite "pole" must not break the stability verdict
+@example(n=4, seed=5580, order=2)
 def test_shifted_rc_models_keep_guarantee(n, seed, order):
     """The interlacing argument extends the theorem to sigma0 > 0."""
     net = repro.random_passive("RC", n, seed=seed)

@@ -1,0 +1,78 @@
+"""Property-based round-trip tests for the Touchstone writer/reader.
+
+Any tabulated multi-port data, written in any format / unit /
+parameter-domain combination, must read back to the same SI-unit
+matrices, reference impedance, and port names.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fitting import TouchstoneData, read_touchstone, write_touchstone
+
+ports = st.integers(min_value=1, max_value=4)
+points = st.integers(min_value=1, max_value=6)
+formats = st.sampled_from(["RI", "MA", "DB"])
+units = st.sampled_from(["HZ", "KHZ", "MHZ", "GHZ"])
+parameters = st.sampled_from(["S", "Y", "Z"])
+impedances = st.floats(min_value=1.0, max_value=500.0)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def make_data(p, m, parameter, z0, seed):
+    rng = np.random.default_rng(seed)
+    f = np.sort(rng.uniform(1e3, 1e10, size=m))
+    # keep magnitudes well away from zero so the DB format (log of the
+    # magnitude) stays in a numerically faithful range
+    mats = rng.uniform(0.1, 10.0, (m, p, p)) * np.exp(
+        1j * rng.uniform(-np.pi, np.pi, (m, p, p))
+    )
+    return TouchstoneData(
+        frequency_hz=f, matrices=mats, parameter=parameter, z0=z0
+    )
+
+
+@given(p=ports, m=points, fmt=formats, unit=units, parameter=parameters,
+       z0=impedances, seed=seeds)
+@settings(max_examples=60, deadline=None)
+def test_write_read_round_trip(tmp_path_factory, p, m, fmt, unit,
+                               parameter, z0, seed):
+    data = make_data(p, m, parameter, z0, seed)
+    path = tmp_path_factory.mktemp("ts") / f"case.s{p}p"
+    write_touchstone(path, data, fmt=fmt, unit=unit)
+    back = read_touchstone(path)
+    assert back.parameter == parameter
+    assert back.num_ports == p
+    assert back.z0 == z0 or abs(back.z0 - z0) <= 1e-9 * z0
+    np.testing.assert_allclose(back.frequency_hz, data.frequency_hz,
+                               rtol=1e-9)
+    np.testing.assert_allclose(back.matrices, data.matrices,
+                               rtol=1e-8, atol=1e-12)
+
+
+@given(p=ports, m=points, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_port_names_round_trip(tmp_path_factory, p, m, seed):
+    data = make_data(p, m, "S", 50.0, seed)
+    data.port_names = [f"node_{k}" for k in range(p)]
+    path = tmp_path_factory.mktemp("ts") / f"named.s{p}p"
+    write_touchstone(path, data)
+    back = read_touchstone(path)
+    assert back.port_names == data.port_names
+
+
+@given(m=points, fmt=formats, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_domain_conversion_round_trip(tmp_path_factory, m, fmt, seed):
+    # write S data as Z, read back, convert to S: must match the source.
+    # |S| is kept below 0.5 so I +/- S stays well conditioned and the
+    # S <-> Z conversions are numerically faithful.
+    data = make_data(2, m, "S", 50.0, seed)
+    data.matrices = data.matrices * 0.05
+    path = tmp_path_factory.mktemp("ts") / "conv.s2p"
+    write_touchstone(path, data, fmt=fmt, parameter="Z")
+    back = read_touchstone(path)
+    assert back.parameter == "Z"
+    np.testing.assert_allclose(back.scattering(), data.matrices,
+                               rtol=1e-6, atol=1e-9)

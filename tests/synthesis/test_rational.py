@@ -1,0 +1,99 @@
+"""Unit tests for generalized Foster synthesis of fitted models."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import assemble_mna
+from repro.errors import SynthesisError
+from repro.fitting import FittedModel
+from repro.simulation import ac_sweep
+from repro.synthesis import rational_sections, synthesize_fitted
+
+
+def one_port(parameter="Z", direct=None, residue_scale=1e7):
+    poles = np.array(
+        [-1e8, -5e8, -2e7 + 1j * 6e8, -2e7 - 1j * 6e8], dtype=complex
+    )
+    residues = np.zeros((4, 1, 1), dtype=complex)
+    residues[0, 0, 0] = 40.0 * residue_scale
+    residues[1, 0, 0] = 15.0 * residue_scale
+    pair = (3.0 + 2.0j) * residue_scale * 1e2
+    residues[2, 0, 0] = pair
+    residues[3, 0, 0] = np.conj(pair)
+    return FittedModel(
+        poles=poles, residues=residues, direct=direct,
+        port_names=["p"], parameter=parameter,
+    )
+
+
+def netlist_impedance(net, s):
+    return ac_sweep(assemble_mna(net), s).z[:, 0, 0]
+
+
+class TestSections:
+    def test_real_pole_block_values(self):
+        model = one_port()
+        sections = rational_sections(model)
+        reals = [sec for sec in sections if sec.kind == "real"]
+        assert len(reals) == 2
+        # r/(s - p) realizes as C = 1/r in parallel with R = -r/p
+        r, p = 40.0e7, -1e8
+        assert reals[0].c == pytest.approx(1.0 / r)
+        assert reals[0].r1 == pytest.approx(-r / p)
+
+    def test_direct_section_present(self):
+        model = one_port(direct=np.array([[7.5]]))
+        sections = rational_sections(model)
+        assert sections[0].kind == "direct"
+        assert sections[0].r1 == 7.5
+
+    def test_scattering_rejected(self):
+        model = one_port(parameter="S")
+        with pytest.raises(SynthesisError, match="immittance"):
+            rational_sections(model)
+
+    def test_vanishing_linear_coefficient_rejected(self):
+        model = one_port()
+        # make 2 Re R_k = 0 for the conjugate pair
+        model.residues[2, 0, 0] = 5e9j
+        model.residues[3, 0, 0] = -5e9j
+        with pytest.raises(SynthesisError, match="linear numerator"):
+            rational_sections(model)
+
+    def test_multi_port_needs_port_choice(self):
+        model = one_port()
+        two = FittedModel(
+            poles=model.poles,
+            residues=np.tile(model.residues, (1, 2, 2)),
+            port_names=["a", "b"],
+            parameter="Z",
+        )
+        with pytest.raises(SynthesisError, match="pass port="):
+            synthesize_fitted(two)
+        net = synthesize_fitted(two, port="b")
+        assert net.ports[0].name == "b"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("parameter", ["Z", "Y"])
+    @pytest.mark.parametrize("with_direct", [False, True])
+    def test_netlist_matches_model(self, parameter, with_direct):
+        direct = np.array([[7.5]]) if with_direct else None
+        model = one_port(parameter=parameter, direct=direct)
+        net = synthesize_fitted(model)
+        s = 1j * 2 * np.pi * np.logspace(6.5, 10, 60)
+        z_net = netlist_impedance(net, s)
+        z_model = model.impedance(s)[:, 0, 0]
+        scale = float(np.abs(z_model).max())
+        assert np.abs(z_net - z_model).max() <= 1e-9 * scale
+
+    def test_spice_text_round_trip(self):
+        from repro.circuits import parse_netlist, write_netlist
+
+        model = one_port(direct=np.array([[3.0]]))
+        net = synthesize_fitted(model)
+        rebuilt = parse_netlist(write_netlist(net))
+        s = 1j * 2 * np.pi * np.logspace(7, 9.5, 25)
+        z_a = netlist_impedance(net, s)
+        z_b = netlist_impedance(rebuilt, s)
+        np.testing.assert_allclose(z_a, z_b, rtol=1e-9)

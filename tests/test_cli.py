@@ -339,3 +339,110 @@ class TestServe:
         by_id = {r["id"]: r for r in lines}
         assert by_id["h"]["result"]["status"] == "ok"
         assert by_id["q"]["result"]["status"] == "draining"
+
+
+@pytest.fixture
+def touchstone_file(tmp_path):
+    """A small exact Z sweep of an RLC line, tabulated as .s2p."""
+    from repro.fitting import TouchstoneData, write_touchstone
+    from repro.simulation import ac_sweep
+
+    net = repro.rlc_line(12)
+    system = repro.assemble_mna(net)
+    s = 1j * np.logspace(8, 9.5, 60)
+    exact = ac_sweep(system, s)
+    data = TouchstoneData(
+        frequency_hz=s.imag / (2 * np.pi),
+        matrices=exact.z,
+        parameter="Z",
+        port_names=list(exact.port_names),
+    )
+    path = tmp_path / "line.s2p"
+    write_touchstone(path, data)
+    return path
+
+
+class TestFitCommand:
+    def test_basic_fit(self, touchstone_file, capsys):
+        assert main(["fit", str(touchstone_file), "--poles", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted 20 poles" in out
+        assert "max rel error" in out
+
+    def test_artifacts(self, touchstone_file, tmp_path, capsys):
+        model_path = tmp_path / "fit.npz"
+        spice_path = tmp_path / "fit.sp"
+        report_path = tmp_path / "fit.json"
+        code = main([
+            "fit", str(touchstone_file), "--poles", "20",
+            "--enforce-passivity",
+            "--model", str(model_path),
+            "--spice", str(spice_path), "--spice-port", "in",
+            "--report", str(report_path),
+        ])
+        assert code == 0
+        from repro.io import load_model
+
+        model = load_model(model_path)
+        assert model.order == 20
+        assert model.metadata["passivity"]["passive"] is True
+        assert ".PORT in" in spice_path.read_text()
+        report = json.loads(report_path.read_text())
+        assert report["fit"]["num_poles"] == 20
+        assert report["passivity"]["passive"] is True
+
+    def test_malformed_file_exits_8(self, tmp_path, capsys):
+        from repro.errors import EXIT_FITTING
+
+        bad = tmp_path / "bad.s2p"
+        bad.write_text("# HZ S RI R 50\n1e6 1\n")
+        assert main(["fit", str(bad)]) == EXIT_FITTING
+        assert "error [fitting]" in capsys.readouterr().err
+
+    def test_missing_file_exits_8(self, tmp_path, capsys):
+        from repro.errors import EXIT_FITTING
+
+        code = main(["fit", str(tmp_path / "nope.s2p")])
+        assert code == EXIT_FITTING
+
+
+class TestTouchstoneCommand:
+    def test_info(self, touchstone_file, capsys):
+        assert main(["touchstone", "info", str(touchstone_file)]) == 0
+        out = capsys.readouterr().out
+        assert "ports" in out
+        assert "60" in out
+
+    def test_convert(self, touchstone_file, tmp_path, capsys):
+        from repro.fitting import read_touchstone
+
+        out_path = tmp_path / "conv.s2p"
+        code = main([
+            "touchstone", "convert", str(touchstone_file), str(out_path),
+            "--format", "DB", "--unit", "MHZ", "--parameter", "S",
+        ])
+        assert code == 0
+        original = read_touchstone(touchstone_file)
+        converted = read_touchstone(out_path)
+        assert converted.parameter == "S"
+        np.testing.assert_allclose(
+            converted.impedance(), original.matrices, rtol=1e-6
+        )
+
+    def test_export_then_fit(self, netlist_file, tmp_path, capsys):
+        out_path = tmp_path / "ladder.s2p"
+        code = main([
+            "touchstone", "export", str(netlist_file), str(out_path),
+            "--band", "1e6", "1e9", "--points", "50",
+        ])
+        assert code == 0
+        assert main(["fit", str(out_path), "--poles", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted 10 poles" in out
+
+    def test_export_bad_band(self, netlist_file, tmp_path, capsys):
+        code = main([
+            "touchstone", "export", str(netlist_file),
+            str(tmp_path / "x.s2p"), "--band", "1e9", "1e6",
+        ])
+        assert code == 1

@@ -60,3 +60,86 @@ class TestSaveLoad:
         np.savez(path, **data)
         with pytest.raises(ReproError, match="newer"):
             load_model(path)
+
+
+class TestFormatV2:
+    """Format v2: ``kind`` dispatch and fitted-model payloads."""
+
+    def make_fitted(self):
+        from repro.fitting import FittedModel
+
+        poles = np.array(
+            [-2e8, -5e7 + 1j * 9e8, -5e7 - 1j * 9e8], dtype=complex
+        )
+        residues = np.zeros((3, 2, 2), dtype=complex)
+        residues[0] = [[4e9, 1e9], [1e9, 3e9]]
+        block = np.array([[2e8 + 1e8j, 3e7], [3e7, 1e8 + 5e7j]])
+        residues[1], residues[2] = block, np.conj(block)
+        return FittedModel(
+            poles=poles,
+            residues=residues,
+            direct=np.array([[12.0, 1.0], [1.0, 9.0]]),
+            port_names=["left", "right"],
+            parameter="Z",
+            z0=75.0,
+            metadata={"fit": {"error": 1.5e-11, "iterations": 4}},
+        )
+
+    def test_fitted_round_trip(self, tmp_path):
+        model = self.make_fitted()
+        path = tmp_path / "fitted.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        s = 1j * np.logspace(8, 10, 9)
+        np.testing.assert_allclose(loaded.matrices(s), model.matrices(s))
+        assert loaded.port_names == ["left", "right"]
+        assert loaded.parameter == "Z"
+        assert loaded.z0 == 75.0
+        assert loaded.metadata["fit"]["error"] == 1.5e-11
+
+    def test_fitted_without_direct(self, tmp_path):
+        model = self.make_fitted().with_updates()
+        model.direct = None
+        path = tmp_path / "nodirect.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.direct is None
+
+    def test_archive_kind_field(self, rc_two_port_system, tmp_path):
+        rom = repro.sympvl(rc_two_port_system, order=6, shift=0.0)
+        rom_path = tmp_path / "rom.npz"
+        fit_path = tmp_path / "fit.npz"
+        save_model(rom, rom_path)
+        save_model(self.make_fitted(), fit_path)
+        with np.load(rom_path, allow_pickle=True) as archive:
+            assert str(archive["kind"]) == "rom"
+            assert int(archive["format_version"]) == 2
+        with np.load(fit_path, allow_pickle=True) as archive:
+            assert str(archive["kind"]) == "fitted"
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "weird.npz"
+        save_model(self.make_fitted(), path)
+        data = dict(np.load(path, allow_pickle=True))
+        data["kind"] = np.array("hologram")
+        np.savez(path, **data)
+        with pytest.raises(ReproError, match="unknown kind"):
+            load_model(path)
+
+    def test_unserializable_model_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="cannot serialize"):
+            save_model(object(), tmp_path / "nope.npz")
+
+
+class TestV1Backward:
+    """v1 archives (no ``kind`` field) still load as reduced models."""
+
+    def test_golden_v1_archive_loads(self):
+        import pathlib
+
+        data_dir = pathlib.Path(__file__).parent / "data"
+        model = load_model(data_dir / "model_v1.npz")
+        reference = np.load(data_dir / "model_v1_ref.npy")
+        s = 1j * np.logspace(7, 10, 9)
+        np.testing.assert_allclose(model.impedance(s), reference, rtol=1e-12)
+        assert isinstance(model, repro.ReducedOrderModel)
