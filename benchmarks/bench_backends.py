@@ -1,0 +1,240 @@
+"""BACKENDS -- array-backend and dtype-policy sweep throughput.
+
+Measures, on the Fig. 2 PEEC testbed (the paper's LC two-port), the
+compiled pole-residue sweep through the array-backend layer
+(:mod:`repro.backends`):
+
+* NumPy float64 (the reference path; must be bit-identical to calling
+  the compiled kernel without a backend handle),
+* NumPy float32 (the probe-verified serving mode: what matters is not
+  the raw reduced-precision error -- the lossless LC testbed has
+  undamped resonance peaks where complex64 cancellation is intrinsic --
+  but that the :func:`verify_precision` gate's verdict is *consistent*
+  with the full-grid error, and that whatever the Engine actually
+  serves at ``dtype=float32`` stays within tolerance because the gate
+  falls back to float64 on rejection), and
+* every optional backend (CuPy, torch) that imports and passes its
+  capability probe, at both precisions.  Missing backends are reported
+  as skipped, never as failures -- CI runs this on a CPU-only box.
+
+Writes ``benchmarks/BENCH_BACKENDS.json`` (the CI artifact) plus the
+usual human-readable report, and exits nonzero when a correctness
+check fails.  Timing numbers are informational: relative backend speed
+is hardware-dependent, so no throughput threshold is enforced.
+
+Usage::
+
+    python benchmarks/bench_backends.py [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+import repro
+from repro.backends import available_backends, get_backend, resolve_dtype
+from repro.circuits.mna import lc_inductor_current_output, with_output_columns
+from repro.engine import CompiledModel
+from repro.engine.sweep import PRECISION_PROBE_TOL, verify_precision
+
+from _util import save_report
+
+JSON_PATH = pathlib.Path(__file__).parent / "BENCH_BACKENDS.json"
+
+
+def build_testbed(quick: bool):
+    """The Fig. 2 PEEC LC two-port (drive node + inductor-current
+    output, eq. 25); smaller but same-shaped under ``--quick``."""
+    n_cells = 60 if quick else 200
+    net = repro.peec_like_lc(n_cells)
+    system = repro.assemble_mna(net)
+    mid = f"L{len(net.inductors) // 2}"
+    column = lc_inductor_current_output(net, mid)
+    system = with_output_columns(system, column, [f"i({mid})"])
+    order = 24 if quick else 50
+    points = 2000 if quick else 20000
+    band = np.linspace(1.5e9, 4.0e10, points)
+    return system, order, 1j * band
+
+
+def best_of(repeats, fn):
+    """Minimum wall time over ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure_backend(compiled, s, name, dtype, repeats):
+    """One (backend, dtype) cell: wall time + error vs the reference."""
+    xp = get_backend(name)
+    policy = resolve_dtype(dtype)
+
+    def evaluate():
+        z = compiled.impedance(s, backend=xp, dtype=policy)
+        xp.synchronize()
+        return z
+
+    evaluate()  # warm-up: device transfer + cached backend arrays
+    total_s, z = best_of(repeats, evaluate)
+    return total_s, z
+
+
+def run(quick: bool, json_path: pathlib.Path) -> int:
+    system, order, s = build_testbed(quick)
+    model = repro.sympvl(system, order=order)
+    compiled = CompiledModel.compile(model)
+    repeats = 3 if quick else 5
+    m = s.size
+
+    # the pre-abstraction reference: no backend handle at all
+    ref_s, z_ref = best_of(repeats, lambda: compiled.impedance(s))
+    scale = float(np.abs(z_ref).max())
+
+    availability = available_backends()
+    cells = []
+    for name, reason in availability.items():
+        if reason is not None:
+            cells.append({
+                "backend": name, "skipped": True, "reason": reason,
+            })
+            continue
+        for dtype in ("float64", "float32"):
+            total_s, z = measure_backend(compiled, s, name, dtype, repeats)
+            error = float(np.abs(z - z_ref).max() / scale)
+            cell = {
+                "backend": name,
+                "dtype": dtype,
+                "skipped": False,
+                "total_s": total_s,
+                "per_point_us": 1e6 * total_s / m,
+                "throughput_mpts_per_s": m / total_s / 1e6,
+                "rel_error_vs_float64": error,
+                "bit_identical": bool(np.array_equal(z, z_ref)),
+            }
+            if dtype == "float32":
+                accepted, probe_error = verify_precision(
+                    compiled, s, backend=name, dtype=dtype
+                )
+                cell["probe_accepted"] = accepted
+                cell["probe_error"] = probe_error
+            cells.append(cell)
+
+    by_key = {
+        (c["backend"], c.get("dtype")): c for c in cells if not c["skipped"]
+    }
+    numpy64 = by_key[("numpy", "float64")]
+    numpy32 = by_key[("numpy", "float32")]
+
+    # the serving contract: sweep through the Engine gate at float32 and
+    # check what is actually served (accepted downgrade OR float64
+    # fallback) against the reference
+    from repro.engine import Engine
+    from repro.robustness.health import HealthMonitor
+
+    monitor = HealthMonitor()
+    gated_engine = Engine(dtype="float32", monitor=monitor)
+    served = gated_engine.sweep(compiled, s).z
+    served_error = float(np.abs(served - z_ref).max() / scale)
+    precision_events = [
+        e for e in monitor.events if e.category == "engine.precision"
+    ]
+    gate = {
+        "served_dtype": str(served.dtype),
+        "served_rel_error": served_error,
+        "rejections": gated_engine.stats()["precision_rejections"],
+        "events": [dict(e.data) for e in precision_events],
+    }
+
+    checks = {
+        "numpy_float64_bit_identical": numpy64["bit_identical"],
+        # accepted => the full grid really is close (10x margin for the
+        # stretch between probe points); rejected => it really is not
+        "numpy_float32_probe_consistent": (
+            numpy32["rel_error_vs_float64"] <= 10 * PRECISION_PROBE_TOL
+            if numpy32["probe_accepted"]
+            else numpy32["rel_error_vs_float64"] > PRECISION_PROBE_TOL
+        ),
+        "served_float32_within_tol": served_error <= PRECISION_PROBE_TOL,
+        "engine_precision_event_emitted": len(precision_events) > 0,
+        "optional_backends_float64_within_tol": all(
+            c["rel_error_vs_float64"] <= PRECISION_PROBE_TOL
+            for c in cells
+            if not c["skipped"] and c["backend"] != "numpy"
+            and c["dtype"] == "float64"
+        ),
+    }
+    payload = {
+        "experiment": "BACKENDS",
+        "testbed": f"fig2-peec (N={system.size}, p={system.num_ports})",
+        "quick": quick,
+        "points": int(m),
+        "order": model.order,
+        "probe_tol": PRECISION_PROBE_TOL,
+        "reference": {
+            "total_s": ref_s, "per_point_us": 1e6 * ref_s / m,
+        },
+        "availability": availability,
+        "cells": cells,
+        "gate": gate,
+        "checks": checks,
+        "pass": all(checks.values()),
+    }
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "BACKENDS: array-backend sweep throughput (Fig. 2 PEEC testbed)",
+        f"  system: N = {system.size}, p = {system.num_ports}, "
+        f"n = {model.order}, m = {m} points"
+        + (" [quick]" if quick else ""),
+        f"  reference (no backend handle): "
+        f"{payload['reference']['per_point_us']:8.3f} us/point",
+    ]
+    for cell in cells:
+        if cell["skipped"]:
+            lines.append(
+                f"  {cell['backend']:<6} --       skipped ({cell['reason']})"
+            )
+            continue
+        extra = ""
+        if cell["dtype"] == "float32":
+            verdict = "accepted" if cell["probe_accepted"] else "REJECTED"
+            extra = f", probe {verdict} ({cell['probe_error']:.2e})"
+        lines.append(
+            f"  {cell['backend']:<6} {cell['dtype']:<8} "
+            f"{cell['per_point_us']:8.3f} us/point, rel err "
+            f"{cell['rel_error_vs_float64']:.2e}{extra}"
+        )
+    lines += [
+        f"  gated float32 serve: dtype {gate['served_dtype']}, rel err "
+        f"{gate['served_rel_error']:.2e} "
+        f"({gate['rejections']} rejection(s), "
+        f"{len(gate['events'])} engine.precision event(s))",
+        f"  checks: {checks}",
+        f"  [json written to {json_path}]",
+    ]
+    save_report("BACKENDS", "\n".join(lines))
+    return 0 if payload["pass"] else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller testbed (CI smoke job)")
+    parser.add_argument("--json", type=pathlib.Path, default=JSON_PATH,
+                        help=f"output JSON path (default {JSON_PATH})")
+    args = parser.parse_args(argv)
+    return run(args.quick, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

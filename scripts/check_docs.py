@@ -1,0 +1,149 @@
+"""Docs lint: catch documentation rot before it merges.
+
+Two checks over ``README.md`` and ``docs/*.md``:
+
+1. **Intra-repo markdown links resolve.**  Every ``[text](target)``
+   whose target is a relative path (no scheme, no ``#``-only anchor)
+   must exist on disk, resolved against the linking file's directory.
+   Anchors are stripped before the existence check; external URLs
+   (``http://``, ``https://``, ``mailto:``) are ignored.
+2. **Documented CLI subcommands exist.**  Every ``repro <word>`` or
+   ``python -m repro <word>`` mention inside inline code spans or
+   fenced code blocks must name a real subcommand of
+   :func:`repro.cli.build_parser` -- so docs cannot advertise commands
+   the CLI no longer ships (prose mentions of "the repro package" are
+   not scanned).
+
+Exit status is the number of problems found (0 = clean), so CI fails
+the build on any rot.  ``--root`` points at an alternate repo root
+(the self-test fixture in ``tests/test_docs_lint.py`` uses this).
+
+Usage::
+
+    python scripts/check_docs.py [--root PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+#: [text](target) -- ignores images' leading ! by matching the bracket pair
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: fenced code blocks and inline code spans (scanned for subcommands)
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_SPAN = re.compile(r"`[^`\n]+`")
+#: `repro <sub>` / `python -m repro <sub>` inside code text; same-line
+#: whitespace only (so python snippets like `import repro\nnet = ...`
+#: don't match across lines) and not a `from repro import ...`
+_SUBCOMMAND = re.compile(
+    r"(?<!from )(?:python[ \t]+-m[ \t]+)?\brepro[ \t]+([a-z][a-z0-9-]*)"
+)
+
+
+def _doc_files(root: pathlib.Path) -> list[pathlib.Path]:
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def check_links(root: pathlib.Path) -> list[str]:
+    problems = []
+    for path in _doc_files(root):
+        text = path.read_text()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            plain = target.split("#", 1)[0]
+            if not plain:
+                continue
+            resolved = (path.parent / plain).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+def cli_subcommands(root: pathlib.Path) -> set[str]:
+    """The real subcommand set, read from cli.py.
+
+    Prefers the linted root's own ``src`` tree; a fixture root without
+    one (the self-test) falls back to the repo this script ships with,
+    so its docs are still checked against a real CLI.
+    """
+    own_root = pathlib.Path(__file__).resolve().parent.parent
+    inserted = []
+    for candidate in (root / "src", own_root / "src"):
+        if candidate.is_dir() and str(candidate) not in sys.path:
+            sys.path.insert(0, str(candidate))
+            inserted.append(str(candidate))
+    try:
+        try:
+            from repro.cli import build_parser
+        except ImportError:
+            return set()
+
+        parser = build_parser()
+        for action in parser._actions:
+            if hasattr(action, "choices") and action.choices:
+                return set(action.choices)
+        return set()
+    finally:
+        for path in inserted:
+            sys.path.remove(path)
+
+
+def check_subcommands(root: pathlib.Path, known: set[str]) -> list[str]:
+    if not known:  # no CLI in this tree (fixture runs): nothing to check
+        return []
+    problems = []
+    for path in _doc_files(root):
+        text = path.read_text()
+        code_text = "\n".join(
+            m.group(0) for m in _FENCE.finditer(text)
+        )
+        stripped = _FENCE.sub("", text)
+        code_text += "\n" + "\n".join(
+            m.group(0) for m in _SPAN.finditer(stripped)
+        )
+        for match in _SUBCOMMAND.finditer(code_text):
+            sub = match.group(1)
+            if sub not in known:
+                problems.append(
+                    f"{path.relative_to(root)}: unknown subcommand "
+                    f"'repro {sub}' (cli.py has: {', '.join(sorted(known))})"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--root", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repo root to lint (default: this repo)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+
+    problems = check_links(root)
+    problems += check_subcommands(root, cli_subcommands(root))
+    for problem in problems:
+        print(f"docs-lint: {problem}", file=sys.stderr)
+    if not problems:
+        files = len(_doc_files(root))
+        print(f"docs-lint: {files} markdown file(s) clean")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,323 @@
+"""Array-backend abstraction for hardware-rate evaluation.
+
+The compiled pole-residue sweep (:mod:`repro.engine.compiled`) is a
+single broadcast contraction and transient/Monte-Carlo workloads are
+embarrassingly parallel, so the hot paths only need a *thin* slice of
+the Array API: ``asarray``, ``einsum``/``matmul``, broadcast
+arithmetic, and a way back to NumPy.  This package provides exactly
+that slice behind a registry:
+
+* :class:`NumpyBackend` -- the reference backend, always available;
+  ``float64`` results through it are bit-identical to the
+  pre-abstraction NumPy code paths.
+* :class:`CupyBackend` / :class:`TorchBackend` -- optional GPU
+  backends, registered only when their modules import *and* pass a
+  small capability probe (a complex einsum/matmul round-trip) at first
+  use.  Missing modules are skipped cleanly: :func:`available_backends`
+  reports the reason instead of raising.
+
+Selection follows ``name argument > REPRO_BACKEND environment variable
+> "numpy"`` (:func:`get_backend`); dtype policy follows ``dtype
+argument > REPRO_DTYPE > "float64"`` (:func:`resolve_dtype`).  The
+``float32`` policy is a *serving* mode: consumers are expected to
+probe-verify reduced-precision results against the ``float64``
+reference (see :func:`repro.engine.sweep.verify_precision` and the
+contract in ``docs/BACKENDS.md``) before trusting a sweep.
+
+Backend and dtype both enter the engine cache key
+(:meth:`repro.engine.session.Engine.reduce`), so switching hardware or
+precision never serves a stale artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "CupyBackend",
+    "TorchBackend",
+    "BACKEND_NAMES",
+    "DTYPE_NAMES",
+    "DtypePolicy",
+    "available_backends",
+    "get_backend",
+    "resolve_dtype",
+    "FLOAT64",
+    "FLOAT32",
+]
+
+#: registry order doubles as documentation order
+BACKEND_NAMES = ("numpy", "cupy", "torch")
+
+#: supported dtype policies (real dtype names; complex follows)
+DTYPE_NAMES = ("float64", "float32")
+
+
+# ---------------------------------------------------------------------------
+# dtype policy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DtypePolicy:
+    """A real/complex dtype pair selecting the evaluation precision.
+
+    ``float64`` pairs with ``complex128`` (the reference precision of
+    every numerical result in this library); ``float32`` pairs with
+    ``complex64`` (the probe-verified serving mode).
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in DTYPE_NAMES:
+            raise ReproError(
+                f"unknown dtype policy {self.name!r}; "
+                f"choose one of {', '.join(DTYPE_NAMES)}"
+            )
+
+    @property
+    def real(self) -> str:
+        return self.name
+
+    @property
+    def complex(self) -> str:
+        return "complex128" if self.name == "float64" else "complex64"
+
+    @property
+    def is_default(self) -> bool:
+        return self.name == "float64"
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return self.name
+
+
+FLOAT64 = DtypePolicy("float64")
+FLOAT32 = DtypePolicy("float32")
+
+
+def resolve_dtype(dtype: "DtypePolicy | str | None" = None) -> DtypePolicy:
+    """``dtype`` argument > ``REPRO_DTYPE`` env > ``float64``."""
+    if isinstance(dtype, DtypePolicy):
+        return dtype
+    if dtype is not None:
+        return DtypePolicy(str(dtype))
+    env = os.environ.get("REPRO_DTYPE", "").strip()
+    if env:
+        return DtypePolicy(env)
+    return FLOAT64
+
+
+# ---------------------------------------------------------------------------
+# backends
+# ---------------------------------------------------------------------------
+class ArrayBackend:
+    """The Array-API subset the hot paths need.
+
+    Subclasses wrap one array library.  Backend arrays support NumPy
+    broadcasting semantics (``a[:, None] * b[None, :]``, ``1.0 / x``,
+    ``a @ b``), which the three supported libraries share, so the
+    evaluation kernels are written once against this interface.
+    """
+
+    #: registry name; also what ``--backend`` and cache keys use
+    name: str = ""
+    #: True when evaluation happens off the host (benchmarks call
+    #: :meth:`synchronize` around timed regions)
+    is_gpu: bool = False
+
+    def asarray(self, values, dtype: str | None = None):
+        """Backend array of ``values`` (``dtype`` is a canonical NumPy
+        dtype name such as ``"complex64"``)."""
+        raise NotImplementedError
+
+    def to_numpy(self, array) -> np.ndarray:
+        """The backend array as a host NumPy ``ndarray``."""
+        raise NotImplementedError
+
+    def einsum(self, subscripts: str, *operands):
+        raise NotImplementedError
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def synchronize(self) -> None:
+        """Barrier for asynchronous (GPU) execution; host no-op."""
+
+    # -- capability probe --------------------------------------------------
+    def probe(self) -> None:
+        """Exercise the subset once; raises when the backend is unusable.
+
+        Run at registration (:func:`available_backends` /
+        :func:`get_backend`), so a backend that imports but cannot
+        execute -- e.g. CuPy with no visible device -- is reported as
+        unavailable instead of failing mid-sweep.
+        """
+        for policy in (FLOAT64, FLOAT32):
+            u = self.asarray(np.array([0.5, -1.5]), dtype=policy.complex)
+            poles = self.asarray(
+                np.array([1.0 + 2.0j, 3.0 - 4.0j]), dtype=policy.complex
+            )
+            weights = 1.0 / (1.0 + u[:, None] * poles[None, :])
+            flat = self.asarray(
+                np.arange(8.0).reshape(2, 4), dtype=policy.complex
+            )
+            product = self.matmul(weights, flat)
+            contracted = self.einsum("mk,kq->mq", weights, flat)
+            self.synchronize()
+            got = self.to_numpy(product)
+            want = self.to_numpy(contracted)
+            if got.shape != (2, 4) or not np.allclose(got, want, rtol=1e-4):
+                raise ReproError(
+                    f"backend {self.name!r} failed the capability probe"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumpyBackend(ArrayBackend):
+    """The reference backend; thin aliases over :mod:`numpy`."""
+
+    name = "numpy"
+
+    def asarray(self, values, dtype: str | None = None) -> np.ndarray:
+        return np.asarray(values, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+    def einsum(self, subscripts: str, *operands):
+        return np.einsum(subscripts, *operands)
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy (CUDA) backend; requires an importable ``cupy`` with at
+    least one visible device."""
+
+    name = "cupy"
+    is_gpu = True
+
+    def __init__(self) -> None:
+        import cupy  # noqa: F401 -- ImportError is the "unavailable" signal
+
+        self._cp = cupy
+
+    def asarray(self, values, dtype: str | None = None):
+        return self._cp.asarray(values, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return self._cp.asnumpy(array)
+
+    def einsum(self, subscripts: str, *operands):
+        return self._cp.einsum(subscripts, *operands)
+
+    def synchronize(self) -> None:
+        self._cp.cuda.get_current_stream().synchronize()
+
+
+class TorchBackend(ArrayBackend):
+    """PyTorch backend; prefers CUDA, falls back to CPU tensors (still
+    useful for float32 throughput and torch-native pipelines)."""
+
+    name = "torch"
+
+    def __init__(self) -> None:
+        import torch
+
+        self._torch = torch
+        self._device = "cuda" if torch.cuda.is_available() else "cpu"
+        self.is_gpu = self._device == "cuda"
+        self._dtypes = {
+            "float64": torch.float64,
+            "float32": torch.float32,
+            "complex128": torch.complex128,
+            "complex64": torch.complex64,
+        }
+
+    def asarray(self, values, dtype: str | None = None):
+        torch = self._torch
+        if torch.is_tensor(values):
+            tensor = values.to(device=self._device)
+        else:
+            tensor = torch.as_tensor(
+                np.ascontiguousarray(values), device=self._device
+            )
+        if dtype is not None:
+            tensor = tensor.to(dtype=self._dtypes[dtype])
+        return tensor
+
+    def to_numpy(self, array) -> np.ndarray:
+        return array.detach().cpu().numpy()
+
+    def einsum(self, subscripts: str, *operands):
+        return self._torch.einsum(subscripts, *operands)
+
+    def synchronize(self) -> None:
+        if self.is_gpu:
+            self._torch.cuda.synchronize()
+
+
+_FACTORIES = {
+    "numpy": NumpyBackend,
+    "cupy": CupyBackend,
+    "torch": TorchBackend,
+}
+
+#: probed singletons: name -> instance (success) or error string
+_INSTANCES: dict[str, "ArrayBackend | str"] = {}
+
+
+def _instantiate(name: str) -> "ArrayBackend | str":
+    cached = _INSTANCES.get(name)
+    if cached is None:
+        try:
+            backend = _FACTORIES[name]()
+            backend.probe()
+        except ImportError as exc:
+            cached = f"not importable: {exc}"
+        except Exception as exc:  # device missing, probe failure, ...
+            cached = f"unavailable: {type(exc).__name__}: {exc}"
+        else:
+            cached = backend
+        _INSTANCES[name] = cached
+    return cached
+
+
+def available_backends() -> dict[str, str | None]:
+    """``{name: None}`` for usable backends, ``{name: reason}`` for the
+    rest -- nothing raises, so callers can enumerate freely."""
+    out: dict[str, str | None] = {}
+    for name in BACKEND_NAMES:
+        result = _instantiate(name)
+        out[name] = None if isinstance(result, ArrayBackend) else result
+    return out
+
+
+def get_backend(name: "str | ArrayBackend | None" = None) -> ArrayBackend:
+    """Resolve a backend: ``name`` arg > ``REPRO_BACKEND`` env > numpy.
+
+    Raises :class:`~repro.errors.ReproError` for an unknown name or a
+    known backend whose import/probe failed, with the probe's reason in
+    the message.
+    """
+    if isinstance(name, ArrayBackend):
+        return name
+    if name is None:
+        env = os.environ.get("REPRO_BACKEND", "").strip()
+        name = env or "numpy"
+    name = str(name).lower()
+    if name not in _FACTORIES:
+        raise ReproError(
+            f"unknown backend {name!r}; "
+            f"choose one of {', '.join(BACKEND_NAMES)}"
+        )
+    result = _instantiate(name)
+    if isinstance(result, str):
+        raise ReproError(f"backend {name!r} is {result}")
+    return result

@@ -32,6 +32,7 @@ from repro.engine.sweep import (
     parallel_ac_kernel,
     parallel_ac_sweep,
     resolve_workers,
+    verify_precision,
 )
 
 __all__ = [
@@ -49,4 +50,5 @@ __all__ = [
     "parallel_ac_kernel",
     "parallel_ac_sweep",
     "resolve_workers",
+    "verify_precision",
 ]

@@ -1,0 +1,444 @@
+"""Array-backend registry, dtype policy, and the float32 probe gate.
+
+Covers the ``repro.backends`` resolution rules, NumPy-vs-optional
+backend equivalence (optional backends skip cleanly when the library
+is not importable), float32-vs-float64 agreement on compiled sweeps
+and transient stepping, the backend/dtype entries in the engine cache
+key, and the tiny-sweep chunking regressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends import (
+    BACKEND_NAMES,
+    FLOAT32,
+    FLOAT64,
+    ArrayBackend,
+    DtypePolicy,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    resolve_dtype,
+)
+from repro.engine import Engine
+from repro.engine.cache import reduction_key
+from repro.engine.sweep import (
+    PRECISION_PROBE_POINTS,
+    batched_eval,
+    compiled_sweep,
+    parallel_ac_kernel,
+    verify_precision,
+)
+from repro.errors import ReproError
+from repro.robustness.health import HealthMonitor
+from repro.simulation.ac import ac_kernel
+from repro.simulation.sources import Step
+from repro.simulation.transient import transient_ports, transient_reduced
+
+from ..conftest import rel_err
+
+OPTIONAL_BACKENDS = [n for n in BACKEND_NAMES if n != "numpy"]
+
+
+def _require(name: str) -> ArrayBackend:
+    reason = available_backends()[name]
+    if reason is not None:
+        pytest.skip(f"backend {name!r} unavailable: {reason}")
+    return get_backend(name)
+
+
+@pytest.fixture(scope="module")
+def damped():
+    """A damped RC interconnect: float32 survives the probe gate."""
+    system = repro.assemble_mna(
+        repro.coupled_rc_bus(3, n_segments=10, driver_resistance=100.0)
+    )
+    model = repro.sympvl(system, 12, shift="auto")
+    s = 1j * np.logspace(6, 10, 41)
+    return system, model, s
+
+
+# ---------------------------------------------------------------------------
+# registry resolution
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert get_backend().name == "numpy"
+        assert isinstance(get_backend(), NumpyBackend)
+
+    def test_instances_are_cached_singletons(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_instance_passes_through(self):
+        xp = get_backend("numpy")
+        assert get_backend(xp) is xp
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert get_backend().name == "numpy"
+
+    def test_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "definitely-not-a-backend")
+        assert get_backend("numpy").name == "numpy"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ReproError, match="unknown"):
+            get_backend("fortran")
+
+    def test_unknown_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fortran")
+        with pytest.raises(ReproError):
+            get_backend()
+
+    def test_available_backends_enumerates_all(self):
+        table = available_backends()
+        assert set(table) == set(BACKEND_NAMES)
+        assert table["numpy"] is None  # always available
+
+    def test_unavailable_backend_raises_with_reason(self):
+        table = available_backends()
+        missing = [n for n in OPTIONAL_BACKENDS if table[n] is not None]
+        if not missing:
+            pytest.skip("every optional backend is importable here")
+        with pytest.raises(ReproError, match=missing[0]):
+            get_backend(missing[0])
+
+    def test_numpy_subset_contract(self):
+        xp = get_backend("numpy")
+        a = xp.asarray([1.0, 2.0], dtype="float32")
+        assert a.dtype == np.float32
+        assert np.array_equal(xp.to_numpy(a), [1.0, 2.0])
+        m = xp.asarray(np.eye(2))
+        assert np.allclose(xp.matmul(m, m), np.eye(2))
+        assert np.allclose(xp.einsum("ij,jk->ik", m, m), np.eye(2))
+        xp.synchronize()  # host no-op, must exist
+
+
+class TestDtypePolicy:
+    def test_default_is_float64(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DTYPE", raising=False)
+        assert resolve_dtype() is FLOAT64
+        assert resolve_dtype().is_default
+
+    def test_names_resolve(self):
+        assert resolve_dtype("float32") == FLOAT32
+        assert not resolve_dtype("float32").is_default
+
+    def test_policy_passes_through(self):
+        assert resolve_dtype(FLOAT32) is FLOAT32
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DTYPE", "float32")
+        assert resolve_dtype() == FLOAT32
+        assert resolve_dtype("float64") == FLOAT64  # arg wins
+
+    def test_real_complex_pairs(self):
+        assert (FLOAT64.real, FLOAT64.complex) == ("float64", "complex128")
+        assert (FLOAT32.real, FLOAT32.complex) == ("float32", "complex64")
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ReproError, match="float16"):
+            DtypePolicy("float16")
+        with pytest.raises(ReproError):
+            resolve_dtype("float16")
+
+
+# ---------------------------------------------------------------------------
+# numerical equivalence across backends and dtypes
+# ---------------------------------------------------------------------------
+class TestEquivalence:
+    def test_default_path_bit_identical(self, damped):
+        """backend/dtype unset must route through the original code."""
+        _, model, s = damped
+        eng = Engine()
+        compiled = eng.compile(model)
+        assert np.array_equal(eng.sweep(model, s).z, compiled.impedance(s))
+
+    def test_numpy_float64_handle_bit_identical(self, damped):
+        _, model, s = damped
+        compiled = Engine().compile(model)
+        explicit = compiled.impedance(
+            s, backend=get_backend("numpy"), dtype=FLOAT64
+        )
+        assert np.array_equal(explicit, compiled.impedance(s))
+
+    def test_float32_within_tolerance(self, damped):
+        _, model, s = damped
+        compiled = Engine().compile(model)
+        z32 = compiled.impedance(s, dtype="float32")
+        assert z32.dtype == np.complex64
+        assert rel_err(z32, compiled.impedance(s)) < 1e-4
+
+    @pytest.mark.parametrize("name", OPTIONAL_BACKENDS)
+    def test_optional_backend_float64_matches_numpy(self, name, damped):
+        xp = _require(name)
+        _, model, s = damped
+        compiled = Engine().compile(model)
+        z = compiled.impedance(s, backend=xp, dtype=FLOAT64)
+        assert rel_err(np.asarray(z), compiled.impedance(s)) < 1e-12
+
+    @pytest.mark.parametrize("name", OPTIONAL_BACKENDS)
+    def test_optional_backend_engine_sweep(self, name, damped):
+        _require(name)
+        _, model, s = damped
+        reference = Engine().sweep(model, s).z
+        z = Engine(backend=name).sweep(model, s).z
+        assert rel_err(np.asarray(z), reference) < 1e-12
+
+
+# ---------------------------------------------------------------------------
+# the float32 probe gate
+# ---------------------------------------------------------------------------
+class TestPrecisionGate:
+    def test_float64_policy_short_circuits(self, damped):
+        _, model, _ = damped
+        compiled = Engine().compile(model)
+        accepted, error = verify_precision(
+            compiled, 1j * np.array([1e8]), dtype="float64"
+        )
+        assert accepted and error == 0.0
+
+    def test_probe_accepts_damped_model(self, damped):
+        _, model, s = damped
+        compiled = Engine().compile(model)
+        monitor = HealthMonitor()
+        accepted, error = verify_precision(
+            compiled, s, dtype="float32", monitor=monitor
+        )
+        assert accepted
+        assert 0.0 <= error <= 1e-5
+        (event,) = [
+            e for e in monitor.events if e.category == "engine.precision"
+        ]
+        assert event.data["action"] == "downgrade"
+        assert event.data["dtype"] == "float32"
+        assert event.data["probe_points"] <= 2 * PRECISION_PROBE_POINTS
+
+    def test_forced_rejection_records_event(self, damped):
+        _, model, s = damped
+        compiled = Engine().compile(model)
+        monitor = HealthMonitor()
+        accepted, error = verify_precision(
+            compiled, s, dtype="float32", tol=-1.0, monitor=monitor
+        )
+        assert not accepted and error >= 0.0
+        (event,) = monitor.events
+        assert event.data["action"] == "reject"
+        assert event.data["accepted"] is False
+
+    def test_engine_serves_complex64_when_accepted(self, damped):
+        _, model, s = damped
+        monitor = HealthMonitor()
+        eng = Engine(dtype="float32", monitor=monitor)
+        resp = eng.sweep(model, s)
+        assert resp.z.dtype == np.complex64
+        stats = eng.stats()
+        assert stats["dtype"] == "float32"
+        assert stats["precision_checks"] == 1
+        assert stats["precision_rejections"] == 0
+        assert any(
+            e.category == "engine.precision"
+            and e.data["action"] == "downgrade"
+            for e in monitor.events
+        )
+        assert rel_err(resp.z, Engine().sweep(model, s).z) < 1e-4
+
+    def test_engine_falls_back_on_rejection(self, damped, monkeypatch):
+        """A rejected probe must serve exact float64 + a reject event."""
+        import repro.engine.session as session_mod
+
+        real = verify_precision
+        monkeypatch.setattr(
+            session_mod,
+            "verify_precision",
+            lambda *a, **kw: real(*a, tol=-1.0, **kw),
+        )
+        _, model, s = damped
+        monitor = HealthMonitor()
+        eng = Engine(dtype="float32", monitor=monitor)
+        resp = eng.sweep(model, s)
+        assert resp.z.dtype == np.complex128
+        assert eng.stats()["precision_rejections"] == 1
+        assert np.array_equal(resp.z, Engine().sweep(model, s).z)
+        assert any(
+            e.category == "engine.precision" and e.data["action"] == "reject"
+            for e in monitor.events
+        )
+
+    def test_compiled_sweep_gates_itself(self, damped):
+        _, model, s = damped
+        compiled = Engine().compile(model)
+        monitor = HealthMonitor()
+        resp = compiled_sweep(compiled, s, dtype="float32", monitor=monitor)
+        (event,) = [
+            e for e in monitor.events if e.category == "engine.precision"
+        ]
+        expected = np.complex64 if event.data["accepted"] else np.complex128
+        assert resp.z.dtype == expected
+
+    def test_precision_events_aggregate_into_health(self, damped):
+        from repro.robustness.health import ReductionHealth
+
+        _, model, s = damped
+        monitor = HealthMonitor()
+        Engine(dtype="float32", monitor=monitor).sweep(model, s)
+        health = ReductionHealth.from_events(monitor.events)
+        assert health.precision_events
+        assert health.precision_events[0]["dtype"] == "float32"
+        assert "precision_events" in health.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# cache-key folding
+# ---------------------------------------------------------------------------
+class TestCacheKey:
+    def test_default_pair_keys_like_before(self, damped):
+        """(numpy, float64) must not change keys: old caches stay warm."""
+        system, _, _ = damped
+        eng = Engine()
+        assert eng._fold_backend_options({"shift": "auto"}) == {
+            "shift": "auto"
+        }
+        explicit = Engine(backend="numpy", dtype="float64")
+        assert explicit._fold_backend_options({"shift": "auto"}) == {
+            "shift": "auto"
+        }
+
+    def test_dtype_changes_key(self, damped):
+        system, _, _ = damped
+
+        def key(engine_obj):
+            return reduction_key(
+                system,
+                engine="sympvl",
+                order=12,
+                options=engine_obj._fold_backend_options({"shift": "auto"}),
+                version="test",
+            )
+
+        assert key(Engine()) != key(Engine(dtype="float32"))
+
+    def test_backend_changes_key(self, damped):
+        system, _, _ = damped
+        eng = Engine()
+        folded = eng._fold_backend_options({"shift": "auto"})
+        # fold as a non-numpy backend would, without importing one
+        other = dict(folded, backend="torch")
+        k0 = reduction_key(
+            system, engine="sympvl", order=12, options=folded, version="t"
+        )
+        k1 = reduction_key(
+            system, engine="sympvl", order=12, options=other, version="t"
+        )
+        assert k0 != k1
+
+    def test_reduce_with_dtype_is_a_distinct_entry(self, damped, tmp_path):
+        system, _, _ = damped
+        e64 = Engine(cache_dir=tmp_path)
+        e32 = Engine(cache_dir=tmp_path, dtype="float32")
+        e64.reduce(system, 12)
+        e32.reduce(system, 12)  # same system/order: must still miss
+        assert e32.stats_.reductions == 1
+
+
+# ---------------------------------------------------------------------------
+# transient stepping under a dtype policy
+# ---------------------------------------------------------------------------
+class TestTransientDtype:
+    @pytest.fixture()
+    def rc_cell(self):
+        net = repro.Netlist()
+        net.port("in", "a")
+        net.resistor("R1", "a", "0", 1e3)
+        net.capacitor("C1", "a", "0", 1e-12)
+        return repro.assemble_mna(net)
+
+    def test_transient_ports_float32(self, rc_cell):
+        t = np.linspace(0, 5e-9, 501)
+        drives = {"in": Step(amplitude=1e-3, rise=1e-12)}
+        ref = transient_ports(rc_cell, drives, t)
+        low = transient_ports(rc_cell, drives, t, dtype="float32")
+        assert low.signal(0).dtype == np.float32
+        scale = np.abs(ref.signal(0)).max()
+        assert np.abs(low.signal(0) - ref.signal(0)).max() < 1e-4 * scale
+
+    def test_transient_reduced_float32(self, rc_cell):
+        model = repro.sympvl(rc_cell, 4, shift=1e9)
+        t = np.linspace(0, 5e-9, 501)
+        drives = {"in": Step(amplitude=1e-3, rise=1e-12)}
+        ref = transient_reduced(model, drives, t)
+        low = transient_reduced(model, drives, t, dtype="float32")
+        assert low.signal(0).dtype == np.float32
+        scale = np.abs(ref.signal(0)).max()
+        assert np.abs(low.signal(0) - ref.signal(0)).max() < 1e-3 * scale
+
+    def test_engine_forwards_dtype_kwarg(self, rc_cell):
+        model = repro.sympvl(rc_cell, 4, shift=1e9)
+        t = np.linspace(0, 5e-9, 201)
+        res = Engine().transient(
+            model, {"in": Step(amplitude=1e-3, rise=1e-12)}, t,
+            dtype="float32",
+        )
+        assert res.signal(0).dtype == np.float32
+
+
+# ---------------------------------------------------------------------------
+# tiny-sweep chunking regressions
+# ---------------------------------------------------------------------------
+class TestTinySweeps:
+    def test_batched_eval_clamps_nonpositive_chunk(self):
+        calls = []
+
+        def evaluate(v):
+            calls.append(v.size)
+            return v * 2.0
+
+        out = batched_eval(evaluate, np.arange(5.0), chunk=0)
+        assert np.array_equal(out, np.arange(5.0) * 2.0)
+        assert all(size >= 1 for size in calls)  # never an empty batch
+
+        calls.clear()
+        out = batched_eval(evaluate, np.arange(5.0), chunk=-3)
+        assert np.array_equal(out, np.arange(5.0) * 2.0)
+
+    def test_batched_eval_small_grid_single_call(self):
+        calls = []
+
+        def evaluate(v):
+            calls.append(v.size)
+            return v
+
+        batched_eval(evaluate, np.arange(7.0), chunk=4096)
+        assert calls == [7]
+
+    def test_batched_eval_chunk_boundaries(self):
+        def evaluate(v):
+            return v + 1.0
+
+        for n in (1, 3, 4, 5, 8, 9):
+            out = batched_eval(evaluate, np.arange(float(n)), chunk=4)
+            assert np.array_equal(out, np.arange(float(n)) + 1.0)
+
+    def test_parallel_kernel_tiny_grid_stays_serial(self, monkeypatch):
+        system = repro.assemble_mna(repro.rc_ladder(10, port_at_far_end=True))
+        sigma = np.array([1e7, 1e8, 1e9])
+        out = parallel_ac_kernel(system, sigma, workers=4)
+        assert np.allclose(out, ac_kernel(system, sigma))
+
+    def test_parallel_kernel_nonpositive_min_points(self):
+        """min_points_per_worker <= 0 must clamp, not divide by zero."""
+        system = repro.assemble_mna(repro.rc_ladder(10, port_at_far_end=True))
+        sigma = np.array([1e8, 1e9])
+        out = parallel_ac_kernel(
+            system, sigma, workers=1, min_points_per_worker=0
+        )
+        assert np.allclose(out, ac_kernel(system, sigma))
+        out = parallel_ac_kernel(
+            system, sigma, workers=1, min_points_per_worker=-5
+        )
+        assert np.allclose(out, ac_kernel(system, sigma))
