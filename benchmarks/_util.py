@@ -4,10 +4,18 @@ Every benchmark regenerates one table/figure of the paper's evaluation,
 prints the series it produced, and also writes them to
 ``benchmarks/results/<experiment>.txt`` so the numbers survive pytest's
 output capturing and can be pasted into EXPERIMENTS.md.
+
+The CI smoke jobs additionally consume a ``BENCH_<NAME>.json`` artifact
+per benchmark, with a ``checks`` dict of named boolean gates and an
+overall ``pass``; :func:`finish` and :func:`standard_main` factor that
+shared emit/argparse boilerplate out of the individual ``bench_*.py``
+scripts.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -19,3 +27,51 @@ def save_report(experiment_id: str, text: str) -> None:
     path = RESULTS_DIR / f"{experiment_id}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+
+
+def write_json(path: pathlib.Path, payload: dict) -> None:
+    """Emit the CI artifact (pretty-printed, trailing newline)."""
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def finish(
+    experiment_id: str,
+    lines: list,
+    payload: dict,
+    json_path: pathlib.Path,
+) -> int:
+    """The shared benchmark epilogue.
+
+    Writes ``payload`` (which must carry ``checks`` and ``pass``) to
+    ``json_path``, appends the standard checks / artifact-path trailer
+    to the human-readable report, saves it, and returns the process
+    exit code (nonzero when any gate failed -- CI fails on it).
+    """
+    write_json(json_path, payload)
+    report = list(lines) + [
+        f"  checks: {payload['checks']}",
+        f"  [json written to {json_path}]",
+    ]
+    save_report(experiment_id, "\n".join(report))
+    return 0 if payload["pass"] else 1
+
+
+def standard_main(run, *, default_json: pathlib.Path, description: str):
+    """Build the standard ``main(argv)`` for a gated benchmark.
+
+    ``run(quick, json_path)`` is the benchmark body; the returned main
+    parses the conventional ``--quick`` / ``--json`` flags shared by
+    every ``bench_*.py``.
+    """
+
+    def main(argv=None) -> int:
+        parser = argparse.ArgumentParser(description=description)
+        parser.add_argument("--quick", action="store_true",
+                            help="smaller testbed (CI smoke job)")
+        parser.add_argument("--json", type=pathlib.Path,
+                            default=default_json,
+                            help=f"output JSON path (default {default_json})")
+        args = parser.parse_args(argv)
+        return run(args.quick, args.json)
+
+    return main

@@ -29,8 +29,6 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
 import time
@@ -43,7 +41,7 @@ from repro.circuits.mna import lc_inductor_current_output, with_output_columns
 from repro.engine import CompiledModel
 from repro.engine.sweep import PRECISION_PROBE_TOL, verify_precision
 
-from _util import save_report
+from _util import finish, standard_main
 
 JSON_PATH = pathlib.Path(__file__).parent / "BENCH_BACKENDS.json"
 
@@ -189,8 +187,6 @@ def run(quick: bool, json_path: pathlib.Path) -> int:
         "checks": checks,
         "pass": all(checks.values()),
     }
-    json_path.write_text(json.dumps(payload, indent=2) + "\n")
-
     lines = [
         "BACKENDS: array-backend sweep throughput (Fig. 2 PEEC testbed)",
         f"  system: N = {system.size}, p = {system.num_ports}, "
@@ -219,21 +215,13 @@ def run(quick: bool, json_path: pathlib.Path) -> int:
         f"{gate['served_rel_error']:.2e} "
         f"({gate['rejections']} rejection(s), "
         f"{len(gate['events'])} engine.precision event(s))",
-        f"  checks: {checks}",
-        f"  [json written to {json_path}]",
     ]
-    save_report("BACKENDS", "\n".join(lines))
-    return 0 if payload["pass"] else 1
+    return finish("BACKENDS", lines, payload, json_path)
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="smaller testbed (CI smoke job)")
-    parser.add_argument("--json", type=pathlib.Path, default=JSON_PATH,
-                        help=f"output JSON path (default {JSON_PATH})")
-    args = parser.parse_args(argv)
-    return run(args.quick, args.json)
+main = standard_main(
+    run, default_json=JSON_PATH, description=__doc__.split("\n")[0]
+)
 
 
 if __name__ == "__main__":

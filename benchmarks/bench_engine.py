@@ -19,8 +19,6 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
 import tempfile
@@ -32,7 +30,7 @@ import repro
 from repro.circuits.mna import lc_inductor_current_output, with_output_columns
 from repro.engine import CompiledModel, Engine
 
-from _util import save_report
+from _util import finish, standard_main
 
 PER_POINT_THRESHOLD = 5.0
 CACHE_THRESHOLD = 10.0
@@ -159,8 +157,6 @@ def run(quick: bool, json_path: pathlib.Path) -> int:
         "checks": checks,
         "pass": all(checks.values()),
     }
-    json_path.write_text(json.dumps(payload, indent=2) + "\n")
-
     lines = [
         "ENGINE: compiled evaluation vs direct solves (Fig. 2 PEEC testbed)",
         f"  system: N = {system.size}, p = {system.num_ports}, "
@@ -179,21 +175,13 @@ def run(quick: bool, json_path: pathlib.Path) -> int:
         f"  cache-hit end-to-end speedup: "
         f"{cache_stats['speedup_end_to_end']:.0f}x "
         f"(threshold {CACHE_THRESHOLD:.0f}x)",
-        f"  checks: {checks}",
-        f"  [json written to {json_path}]",
     ]
-    save_report("ENGINE", "\n".join(lines))
-    return 0 if payload["pass"] else 1
+    return finish("ENGINE", lines, payload, json_path)
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="smaller testbed (CI smoke job)")
-    parser.add_argument("--json", type=pathlib.Path, default=JSON_PATH,
-                        help=f"output JSON path (default {JSON_PATH})")
-    args = parser.parse_args(argv)
-    return run(args.quick, args.json)
+main = standard_main(
+    run, default_json=JSON_PATH, description=__doc__.split("\n")[0]
+)
 
 
 if __name__ == "__main__":

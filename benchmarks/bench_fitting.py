@@ -19,8 +19,6 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
 import time
@@ -32,7 +30,7 @@ from repro.circuits import GROUND
 from repro.fitting import TouchstoneData, vector_fit
 from repro.simulation import ac_sweep
 
-from _util import save_report
+from _util import finish, standard_main
 
 SPEEDUP_THRESHOLD = 2.0
 FIT_ERROR_THRESHOLD = 1e-8
@@ -133,8 +131,6 @@ def run(quick: bool, json_path: pathlib.Path) -> int:
         "checks": checks,
         "pass": all(checks.values()),
     }
-    json_path.write_text(json.dumps(payload, indent=2) + "\n")
-
     lines = [
         "FITTING: fast vs naive vector-fit solver (lossy Fig. 2 sweep)",
         f"  table: p = {stats['ports']}, m = {stats['points']} points, "
@@ -150,21 +146,13 @@ def run(quick: bool, json_path: pathlib.Path) -> int:
         f"(threshold {SPEEDUP_THRESHOLD:.0f}x)",
         f"  fast-vs-naive rel difference: "
         f"{stats['fast_vs_naive_rel']:.2e}",
-        f"  checks: {checks}",
-        f"  [json written to {json_path}]",
     ]
-    save_report("FITTING", "\n".join(lines))
-    return 0 if payload["pass"] else 1
+    return finish("FITTING", lines, payload, json_path)
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="smaller testbed (CI smoke job)")
-    parser.add_argument("--json", type=pathlib.Path, default=JSON_PATH,
-                        help=f"output JSON path (default {JSON_PATH})")
-    args = parser.parse_args(argv)
-    return run(args.quick, args.json)
+main = standard_main(
+    run, default_json=JSON_PATH, description=__doc__.split("\n")[0]
+)
 
 
 if __name__ == "__main__":

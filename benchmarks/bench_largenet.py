@@ -28,8 +28,6 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import resource
 import sys
@@ -41,7 +39,7 @@ import repro
 from repro.core.sympvl import default_shift
 from repro.linalg.factorization import cholmod_available, factor_symmetric
 
-from _util import save_report
+from _util import finish, standard_main
 
 SPEEDUP_THRESHOLD = 5.0
 ACCURACY_THRESHOLD = 1.0e-8
@@ -218,8 +216,6 @@ def run(quick: bool, json_path: pathlib.Path) -> int:
         "checks": checks,
         "pass": all(checks.values()),
     }
-    json_path.write_text(json.dumps(payload, indent=2) + "\n")
-
     lines = [
         "LARGENET: scalable factorization tier on RC power-grids"
         + (" [quick]" if quick else ""),
@@ -247,21 +243,13 @@ def run(quick: bool, json_path: pathlib.Path) -> int:
         f"  gate ({gate['label']}): speedup "
         f"{gate['speedup_vs_seed']:.1f}x (threshold "
         f"{SPEEDUP_THRESHOLD:.0f}x)",
-        f"  checks: {checks}",
-        f"  [json written to {json_path}]",
     ]
-    save_report("LARGENET", "\n".join(lines))
-    return 0 if payload["pass"] else 1
+    return finish("LARGENET", lines, payload, json_path)
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="one 50x50 grid (CI smoke job)")
-    parser.add_argument("--json", type=pathlib.Path, default=JSON_PATH,
-                        help=f"output JSON path (default {JSON_PATH})")
-    args = parser.parse_args(argv)
-    return run(args.quick, args.json)
+main = standard_main(
+    run, default_json=JSON_PATH, description=__doc__.split("\n")[0]
+)
 
 
 if __name__ == "__main__":

@@ -174,6 +174,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=None, metavar="N",
                        help="process-pool width for exact sweeps "
                        "(default: REPRO_WORKERS env, then serial)")
+    sweep.add_argument("--no-pool", action="store_true",
+                       help="disable the persistent sweep pool (exact "
+                       "sweeps fall back to a per-call pool; default: "
+                       "REPRO_POOL_PERSISTENT env, then on)")
+    sweep.add_argument("--pool-idle-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="idle seconds before the persistent pool "
+                       "shuts down (default: REPRO_POOL_IDLE_TIMEOUT "
+                       "env, then 120)")
     sweep.add_argument("--cache-dir", metavar="DIR",
                        help="persistent reduction cache directory "
                        "(default: in-memory only)")
@@ -221,6 +230,23 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS", help="disk cache entry TTL")
     serve.add_argument("--workers", type=int, default=None, metavar="N",
                        help="process-pool width for exact sweeps")
+    serve.add_argument("--no-pool", action="store_true",
+                       help="disable the persistent sweep pool (exact "
+                       "sweeps fall back to a per-call pool)")
+    serve.add_argument("--pool-idle-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="idle seconds before the persistent pool "
+                       "shuts down (default: REPRO_POOL_IDLE_TIMEOUT "
+                       "env, then 120)")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       metavar="MS",
+                       help="micro-batching window: compiled sweeps "
+                       "sharing a model fingerprint merge into one "
+                       "broadcast evaluation; 0 disables (default 2)")
+    serve.add_argument("--batch-max-size", type=int, default=16,
+                       metavar="N",
+                       help="requests per batch before an early flush "
+                       "(default 16)")
     serve.add_argument("--backend", choices=list(BACKEND_NAMES),
                        default=None,
                        help="array backend for compiled sweeps "
@@ -512,6 +538,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise ReproError("--band needs 0 < w_lo < w_hi")
     s = 1j * np.logspace(np.log10(w_lo), np.log10(w_hi), args.points)
 
+    if args.no_pool or args.pool_idle_timeout is not None:
+        from repro.engine import pool as engine_pool
+
+        engine_pool.configure(
+            persistent=False if args.no_pool else None,
+            idle_timeout=args.pool_idle_timeout,
+        )
     engine = Engine(
         cache_dir=args.cache_dir, workers=args.workers,
         backend=args.backend, dtype=args.dtype,
@@ -592,6 +625,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.config import RetryConfig
     from repro.service.http import serve_http
 
+    if args.no_pool or args.pool_idle_timeout is not None:
+        from repro.engine import pool as engine_pool
+
+        engine_pool.configure(
+            persistent=False if args.no_pool else None,
+            idle_timeout=args.pool_idle_timeout,
+        )
     try:
         config = ServiceConfig(
             max_pending=args.max_pending,
@@ -604,6 +644,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             dtype=args.dtype,
             retry=dataclasses.replace(RetryConfig(), attempts=args.retries),
+            batch_window_ms=args.batch_window_ms,
+            batch_max_size=args.batch_max_size,
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from None

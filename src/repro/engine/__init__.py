@@ -11,6 +11,8 @@ against few reductions at hardware speed:
   matrices + reduction options) LRU + disk cache of reductions.
 * :mod:`repro.engine.sweep` -- chunked batched sweeps for compiled
   models and process-pool fan-out for exact reference sweeps.
+* :mod:`repro.engine.pool` -- the process-wide persistent sweep pool
+  (warm workers, shared-memory operand transport, ``REPRO_POOL_*``).
 * :mod:`repro.engine.session` -- the :class:`Engine` facade with
   per-session metrics.
 
@@ -25,6 +27,15 @@ from repro.engine.cache import (
     reduction_key,
 )
 from repro.engine.compiled import CompiledModel, compile_model
+from repro.engine.pool import (
+    PoolConfig,
+    SweepPool,
+    configure_pool,
+    get_pool,
+    pool_enabled,
+    pool_stats,
+    shutdown_pool,
+)
 from repro.engine.session import Engine, EngineStats
 from repro.engine.sweep import (
     batched_eval,
@@ -51,4 +62,11 @@ __all__ = [
     "parallel_ac_sweep",
     "resolve_workers",
     "verify_precision",
+    "PoolConfig",
+    "SweepPool",
+    "configure_pool",
+    "get_pool",
+    "pool_enabled",
+    "pool_stats",
+    "shutdown_pool",
 ]

@@ -412,10 +412,13 @@ class Engine:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """JSON-ready session metrics (cache + evaluation counters)."""
+        from repro.engine import pool as engine_pool
+
         return {
             **self.stats_.to_dict(),
             "workers": resolve_workers(self.workers),
             "backend": self.backend.name,
             "dtype": self.dtype.name,
             "cache": self.cache.describe(),
+            "pool": engine_pool.describe(),
         }

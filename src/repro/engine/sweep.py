@@ -15,9 +15,17 @@ Two execution strategies, matched to the two model classes:
   count.
 
 The worker count resolves as ``workers`` argument > ``REPRO_WORKERS``
-environment variable > 1 (serial), clamped to ``os.cpu_count()``;
-non-integer and non-positive ``REPRO_WORKERS`` values are ignored with
-a one-shot :class:`~repro.errors.NumericalWarning`.
+environment variable > 1 (serial), clamped to the CPUs this process
+may actually run on (``os.sched_getaffinity`` when available --
+container CPU quotas shrink the affinity mask without touching
+``os.cpu_count()`` -- else ``os.cpu_count()``); non-integer and
+non-positive ``REPRO_WORKERS`` values are ignored with a one-shot
+:class:`~repro.errors.NumericalWarning`.
+
+Exact sweeps prefer the process-wide **persistent pool** of
+:mod:`repro.engine.pool` (warm workers, shared-memory operand
+transport); the ladder below it -- per-call pool, then serial -- is
+unchanged, and every tier produces bitwise-identical results.
 
 Compiled sweeps are backend/dtype-generic: :func:`compiled_sweep`
 accepts an :class:`~repro.backends.ArrayBackend` and a
@@ -66,16 +74,35 @@ PRECISION_PROBE_TOL = 1.0e-5
 PRECISION_PROBE_POINTS = 8
 
 
+def _cpu_limit() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.sched_getaffinity(0)`` reflects container CPU quotas and
+    ``taskset`` restrictions that ``os.cpu_count()`` ignores; platforms
+    without it (macOS, Windows) fall back to the raw count.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            mask = getaffinity(0)
+        except OSError:  # pragma: no cover - exotic platforms
+            mask = ()
+        if mask:
+            return len(mask)
+    return os.cpu_count() or 1
+
+
 def resolve_workers(workers: int | None = None) -> int:
     """``workers`` arg > ``REPRO_WORKERS`` env > 1 (serial).
 
-    The result is clamped to ``[1, os.cpu_count()]``: oversubscribing
-    the pool beyond the physical cores only adds spawn cost.  A
-    ``REPRO_WORKERS`` value that is non-integer *or* non-positive is
-    rejected with the same one-shot :class:`NumericalWarning` path and
-    the sweep stays serial.
+    The result is clamped to ``[1, cpu limit]`` where the limit honors
+    the scheduler affinity mask (:func:`_cpu_limit`): oversubscribing
+    the pool beyond the cores the container actually grants only adds
+    spawn cost.  A ``REPRO_WORKERS`` value that is non-integer *or*
+    non-positive is rejected with the same one-shot
+    :class:`NumericalWarning` path and the sweep stays serial.
     """
-    limit = os.cpu_count() or 1
+    limit = _cpu_limit()
     if workers is not None:
         return max(1, min(int(workers), limit))
     env = os.environ.get("REPRO_WORKERS", "").strip()
@@ -254,6 +281,47 @@ def _ac_chunk(payload):
     return ac_kernel(system, sigma_chunk)
 
 
+#: sweep-heavy service sessions hit the pool fallback on every call;
+#: the NumericalWarning fires once per process (health events still
+#: record every occurrence)
+_POOL_FALLBACK_WARNED = False
+
+
+def _reset_pool_fallback_warning() -> None:
+    """Re-arm the one-shot pool-fallback warning (test seam)."""
+    global _POOL_FALLBACK_WARNED
+    _POOL_FALLBACK_WARNED = False
+
+
+def _warn_pool_fallback_once(exc: Exception) -> None:
+    global _POOL_FALLBACK_WARNED
+    if _POOL_FALLBACK_WARNED:
+        return
+    _POOL_FALLBACK_WARNED = True
+    warnings.warn(
+        f"process-pool sweep unavailable ({type(exc).__name__}: {exc}); "
+        "falling back to serial evaluation "
+        "(further occurrences warn only via health events)",
+        NumericalWarning,
+        stacklevel=3,
+    )
+
+
+def _per_call_pool_kernel(system, chunks, n_workers: int):
+    """One-shot ``ProcessPoolExecutor`` sweep (the pre-pool baseline).
+
+    Kept as the middle rung of the ladder -- and as the cold-cost
+    baseline that ``benchmarks/bench_pool.py`` measures the persistent
+    pool against.
+    """
+    import concurrent.futures as futures
+
+    with futures.ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(
+            pool.map(_ac_chunk, [(system, chunk) for chunk in chunks])
+        )
+
+
 def parallel_ac_kernel(
     system,
     sigma_values: np.ndarray,
@@ -265,14 +333,19 @@ def parallel_ac_kernel(
     """Exact kernel sweep fanned out over a process pool.
 
     The sigma grid is re-split into one contiguous chunk per worker;
-    each worker precomputes the aligned CSC pair once and factors one
-    sparse LU per point of its chunk.  Small grids, ``workers <= 1``,
-    and pool bring-up failures (sandboxes without fork/spawn) all take
-    the serial path, so results never depend on the environment.
+    each worker reuses the precomputed aligned CSC pair across its
+    whole chunk and factors one sparse LU per point.  Small grids,
+    ``workers <= 1``, and pool bring-up failures (sandboxes without
+    fork/spawn) all take the serial path, so results never depend on
+    the environment.
 
-    A serial fallback is recorded on ``monitor`` as an ``engine.sweep``
-    event (so :meth:`Engine.stats` reflects pool failures) in addition
-    to the :class:`NumericalWarning`.  Genuine worker errors --
+    The ladder is: **persistent pool** (:mod:`repro.engine.pool`, warm
+    workers + shared-memory operands) -> **per-call pool** (fresh
+    ``ProcessPoolExecutor``) -> **serial**.  A persistent-pool failure
+    records an ``engine.pool`` event and drops one rung; a per-call
+    failure records an ``engine.sweep`` event (so :meth:`Engine.stats`
+    reflects pool failures) plus a one-shot-per-process
+    :class:`NumericalWarning`.  Genuine worker errors --
     :class:`SimulationError` (a singular point) and :class:`MemoryError`
     (the grid does not fit) -- are re-raised instead of silently
     retrying the whole grid serially.
@@ -287,14 +360,29 @@ def parallel_ac_kernel(
     if n_workers <= 1:
         return ac_kernel(system, sigma_values)
 
+    from repro.engine import pool as engine_pool
+
+    if engine_pool.pool_enabled():
+        try:
+            return engine_pool.get_pool().eval(
+                system, sigma_values, workers=n_workers, monitor=monitor
+            )
+        except (SimulationError, MemoryError):
+            raise
+        except Exception as exc:  # persistent tier down: drop one rung
+            if monitor is not None:
+                monitor.record(
+                    "engine.pool",
+                    action="tier-fallback",
+                    error_class=type(exc).__name__,
+                    error=str(exc),
+                    workers=n_workers,
+                    points=int(sigma_values.size),
+                )
+
     chunks = np.array_split(sigma_values, n_workers)
     try:
-        import concurrent.futures as futures
-
-        with futures.ProcessPoolExecutor(max_workers=n_workers) as pool:
-            parts = list(
-                pool.map(_ac_chunk, [(system, chunk) for chunk in chunks])
-            )
+        parts = _per_call_pool_kernel(system, chunks, n_workers)
     except SimulationError:
         raise  # a singular point is a real error, not a pool failure
     except MemoryError:
@@ -309,12 +397,7 @@ def parallel_ac_kernel(
                 workers=n_workers,
                 points=int(sigma_values.size),
             )
-        warnings.warn(
-            f"process-pool sweep unavailable ({type(exc).__name__}: {exc}); "
-            "falling back to serial evaluation",
-            NumericalWarning,
-            stacklevel=2,
-        )
+        _warn_pool_fallback_once(exc)
         return ac_kernel(system, sigma_values)
     return np.concatenate(parts, axis=0)
 

@@ -10,7 +10,9 @@ A long-running asyncio service wrapping one
 * per-request deadlines with cooperative cancellation,
 * bounded retries with exponential backoff + deterministic jitter,
 * a bounded admission queue with structured load shedding,
-* a circuit breaker around the process-pool sweep tier, and
+* a circuit breaker around the process-pool sweep tier,
+* cross-request micro-batching of compiled sweeps sharing one model
+  fingerprint (:mod:`repro.service.batching`), and
 * graceful degradation ladders (pool / compiled -> chunked serial ->
   per-point direct solves), every tier switch observable through the
   shared :class:`~repro.robustness.health.HealthMonitor`.
@@ -18,6 +20,7 @@ A long-running asyncio service wrapping one
 See ``docs/SERVICE.md`` for the wire protocol and failure semantics.
 """
 
+from repro.service.batching import SweepBatcher
 from repro.service.config import BreakerConfig, RetryConfig, ServiceConfig
 from repro.service.http import serve_http
 from repro.service.protocol import (
@@ -58,6 +61,7 @@ __all__ = [
     "RetryPolicy",
     "ServiceConfig",
     "SingleFlight",
+    "SweepBatcher",
     "decode_line",
     "encode_line",
     "error_response",

@@ -70,6 +70,12 @@ class ServiceConfig:
     serial_chunk: int = 256     # grid chunk for the chunked-serial tier
     # payload guard: points * ports^2 complex values per sweep response
     max_response_values: int = 2_000_000
+    # micro-batching ----------------------------------------------------
+    # compiled sweeps sharing one model fingerprint are held up to this
+    # window (milliseconds) and merged into one broadcast evaluation;
+    # 0 disables batching (every request dispatches immediately)
+    batch_window_ms: float = 2.0
+    batch_max_size: int = 16    # requests per batch before an early flush
     # limits ------------------------------------------------------------
     max_netlist_bytes: int = 4_000_000
     max_points: int = 200_000
@@ -82,3 +88,7 @@ class ServiceConfig:
             raise ValueError("max_concurrency must be >= 1")
         if self.default_deadline <= 0:
             raise ValueError("default_deadline must be > 0")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if self.batch_max_size < 1:
+            raise ValueError("batch_max_size must be >= 1")

@@ -21,6 +21,11 @@ in an asyncio request front that survives real traffic:
 * **circuit breaker** -- repeated process-pool sweep failures trip the
   breaker; while open, exact sweeps go straight to the serial tier, and
   after a cooldown one probe request tests the pool again;
+* **micro-batching** -- distinct compiled-sweep requests sharing one
+  model fingerprint are held for ``batch_window_ms`` and merged into a
+  single broadcast evaluation (:mod:`repro.service.batching`); slices
+  scattered back are bitwise identical to solo evaluation, and
+  batch-occupancy / queue-delay histograms land in ``stats``;
 * **graceful degradation** -- sweeps walk a tier ladder
   (pool / compiled -> chunked serial -> per-point direct solves); every
   tier switch is recorded as a ``service.degrade``
@@ -48,6 +53,7 @@ from repro.engine.cache import reduction_key
 from repro.errors import ReproError, SimulationError
 from repro.robustness.faultinject import InjectedServiceFault, ServiceFaultPlan
 from repro.robustness.health import HealthMonitor
+from repro.service.batching import SweepBatcher
 from repro.service.config import ServiceConfig
 from repro.service.protocol import (
     ProtocolError,
@@ -129,6 +135,11 @@ class MacromodelService:
         self.retry = RetryPolicy(self.config.retry)
         self.breaker = CircuitBreaker(self.config.breaker)
         self.singleflight = SingleFlight()
+        self.batcher = SweepBatcher(
+            self._batched_compiled_eval,
+            window_ms=self.config.batch_window_ms,
+            max_size=self.config.batch_max_size,
+        )
         self._slots = asyncio.Semaphore(self.config.max_concurrency)
         self._systems: OrderedDict[str, object] = OrderedDict()
         self._pending = 0
@@ -501,7 +512,9 @@ class MacromodelService:
             key, model, meta = await self._obtain_model(
                 system, params, deadline
             )
-            tier, response = await self._model_sweep(model, s, deadline)
+            tier, response = await self._model_sweep(
+                model, s, deadline, key=key
+            )
             meta = {"mode": "reduced", **meta}
         self.latency["sweep"].observe(time.monotonic() - started)
         self.counters["tiers"][tier] = self.counters["tiers"].get(tier, 0) + 1
@@ -606,13 +619,29 @@ class MacromodelService:
             deadline,
         )
 
-    async def _model_sweep(self, model, s: np.ndarray, deadline: Deadline):
-        """Reduced-sweep ladder: compiled -> chunked serial -> direct."""
+    async def _batched_compiled_eval(self, model, s: np.ndarray):
+        """The one evaluation path behind the batcher: identical to the
+        unbatched compiled tier, just over the merged grid."""
+        return await asyncio.to_thread(self.engine.sweep, model, s)
+
+    async def _model_sweep(
+        self, model, s: np.ndarray, deadline: Deadline, *, key: str | None = None
+    ):
+        """Reduced-sweep ladder: compiled (batched) -> chunked serial ->
+        direct.  ``key`` is the model's reduction fingerprint; requests
+        sharing it within ``batch_window_ms`` merge into one broadcast
+        evaluation (compiled evaluation is elementwise across the
+        frequency axis, so the scattered slices are bitwise identical
+        to solo sweeps)."""
         from repro.simulation.ac import model_sweep
 
         ports = _model_ports(model)
 
         async def compiled_tier():
+            if key is not None and self.batcher.enabled:
+                return await self._await_deadline(
+                    self.batcher.submit(key, model, s), deadline, "sweep"
+                )
             return await self._await_deadline(
                 asyncio.to_thread(self.engine.sweep, model, s),
                 deadline, "sweep",
@@ -692,6 +721,7 @@ class MacromodelService:
                     "hits": self.singleflight.hits,
                     "inflight": self.singleflight.inflight_count(),
                 },
+                "batching": self.batcher.describe(),
                 "breaker": self.breaker.describe(),
                 "latency_ms": {
                     stage: hist.to_dict()
@@ -717,6 +747,7 @@ class MacromodelService:
             "breaker": self.breaker.state,
             "pending": self._pending,
             "inflight": self._active,
+            "batching_pending": self.batcher.pending_requests(),
         }
 
     @property
@@ -725,6 +756,7 @@ class MacromodelService:
 
     async def drain(self) -> None:
         """Wait for in-flight shared work to finish (shutdown barrier)."""
+        await self.batcher.drain()
         await self.singleflight.drain()
 
     # ------------------------------------------------------------------

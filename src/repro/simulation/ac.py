@@ -21,6 +21,8 @@ outputs without touching the solve.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -29,7 +31,14 @@ from repro.errors import FactorizationError, SimulationError
 from repro.linalg.utils import checked_splu
 from repro.simulation.results import FrequencyResponse
 
-__all__ = ["ac_kernel", "ac_sweep", "model_sweep"]
+__all__ = [
+    "AcOperands",
+    "ac_kernel",
+    "ac_kernel_prepared",
+    "ac_sweep",
+    "model_sweep",
+    "prepare_ac_operands",
+]
 
 
 def _aligned_csc_pair(system: MNASystem):
@@ -80,6 +89,76 @@ def _aligned_csc_pair(system: MNASystem):
         return g, c, False
 
 
+@dataclass
+class AcOperands:
+    """The precomputed per-system state of the exact sweep loop.
+
+    ``g`` / ``c`` are CSC matrices (sharing one union sparsity pattern
+    when ``aligned``) and ``b`` is the complex input matrix.  Preparing
+    once and reusing across sweeps is what makes the persistent pool's
+    warm path cheap: repeated sweeps ship only the sigma grid
+    (:mod:`repro.engine.pool`).
+    """
+
+    g: sp.csc_matrix
+    c: sp.csc_matrix
+    b: np.ndarray
+    aligned: bool
+
+
+def prepare_ac_operands(system: MNASystem) -> AcOperands:
+    """Build the reusable operand set of :func:`ac_kernel_prepared`."""
+    g, c, aligned = _aligned_csc_pair(system)
+    return AcOperands(g=g, c=c, b=system.B.astype(complex), aligned=aligned)
+
+
+def ac_kernel_prepared(
+    operands: AcOperands,
+    sigma_values: np.ndarray,
+    *,
+    out_dtype=complex,
+    factor_cache=None,
+) -> np.ndarray:
+    """The exact per-point solve loop over prepared operands.
+
+    This is the single implementation behind the serial path, the
+    per-call process pool, and the persistent pool workers -- every
+    transport runs these exact operations, so results are bitwise
+    independent of how the operands arrived.  ``factor_cache`` (an
+    object with ``get(sigma)`` / ``put(sigma, lu)``) lets a persistent
+    worker reuse LU factorizations across repeated sweeps of the same
+    grid; a cached factor is the same object a fresh factorization
+    would produce, so caching never changes results.
+    """
+    sigma_values = np.atleast_1d(np.asarray(sigma_values))
+    g, c, b = operands.g, operands.c, operands.b
+    p = b.shape[1]
+    out = np.empty((sigma_values.size, p, p), dtype=out_dtype)
+    for k, sigma in enumerate(sigma_values.ravel()):
+        key = complex(sigma)
+        lu = factor_cache.get(key) if factor_cache is not None else None
+        if lu is None:
+            if operands.aligned:
+                matrix = sp.csc_matrix(
+                    (g.data + sigma * c.data, g.indices, g.indptr),
+                    shape=g.shape,
+                )
+            else:  # pragma: no cover - defensive structure-mismatch path
+                matrix = (g + sigma * c).tocsc()
+            try:
+                # loose rtol: evaluation near (not at) lightly-damped
+                # poles is legitimate; only exact singularity is an error
+                lu = checked_splu(matrix, rtol=1e-9)
+            except FactorizationError as exc:
+                raise SimulationError(
+                    f"G + sigma C singular at sigma={sigma}"
+                ) from exc
+            if factor_cache is not None:
+                factor_cache.put(key, lu)
+        out[k] = b.T @ lu.solve(b)
+    return out
+
+
 def ac_kernel(
     system: MNASystem,
     sigma_values: np.ndarray,
@@ -107,29 +186,10 @@ def ac_kernel(
         if policy is not None and not policy.is_default:
             kernel = kernel.astype(policy.complex)
         return kernel
-    g, c, aligned = _aligned_csc_pair(system)
-    b = system.B.astype(complex)
-    p = b.shape[1]
     out_dtype = complex if policy is None else policy.complex
-    out = np.empty((sigma_values.size, p, p), dtype=out_dtype)
-    for k, sigma in enumerate(sigma_values.ravel()):
-        if aligned:
-            matrix = sp.csc_matrix(
-                (g.data + sigma * c.data, g.indices, g.indptr),
-                shape=g.shape,
-            )
-        else:  # pragma: no cover - defensive structure-mismatch path
-            matrix = (g + sigma * c).tocsc()
-        try:
-            # loose rtol: evaluation near (not at) lightly-damped poles
-            # is legitimate; only exact singularity is an error
-            lu = checked_splu(matrix, rtol=1e-9)
-        except FactorizationError as exc:
-            raise SimulationError(
-                f"G + sigma C singular at sigma={sigma}"
-            ) from exc
-        out[k] = b.T @ lu.solve(b)
-    return out
+    return ac_kernel_prepared(
+        prepare_ac_operands(system), sigma_values, out_dtype=out_dtype
+    )
 
 
 def ac_sweep(

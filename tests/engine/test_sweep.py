@@ -26,6 +26,10 @@ class TestResolveWorkers:
         import repro.engine.sweep as sweep_mod
 
         monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(
+            sweep_mod.os, "sched_getaffinity",
+            lambda pid: set(range(8)), raising=False,
+        )
 
     def test_explicit_argument_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "7")
@@ -61,6 +65,31 @@ class TestResolveWorkers:
         monkeypatch.setenv("REPRO_WORKERS", "-2")
         with pytest.warns(repro.errors.NumericalWarning, match="non-positive"):
             assert resolve_workers(None) == 1
+
+    def test_restricted_affinity_mask_wins_over_cpu_count(self, monkeypatch):
+        """A container CPU quota shrinks the affinity mask while
+        ``os.cpu_count()`` still reports the full machine."""
+        import repro.engine.sweep as sweep_mod
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr(
+            sweep_mod.os, "sched_getaffinity",
+            lambda pid: {0, 3}, raising=False,
+        )
+        assert sweep_mod._cpu_limit() == 2
+        assert resolve_workers(16) == 2
+        monkeypatch.setenv("REPRO_WORKERS", "16")
+        assert resolve_workers(None) == 2
+
+    def test_missing_affinity_falls_back_to_cpu_count(self, monkeypatch):
+        import repro.engine.sweep as sweep_mod
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delattr(
+            sweep_mod.os, "sched_getaffinity", raising=False
+        )
+        assert sweep_mod._cpu_limit() == 8
+        assert resolve_workers(64) == 8
 
 
 class TestAlignedCscPair:
@@ -187,8 +216,22 @@ class TestPoolFallbackObservability:
     @pytest.fixture(autouse=True)
     def many_cpus(self, monkeypatch):
         import repro.engine.sweep as sweep_mod
+        from repro.engine import pool as engine_pool
 
         monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(
+            sweep_mod.os, "sched_getaffinity",
+            lambda pid: set(range(8)), raising=False,
+        )
+        # these tests inject failures into the *per-call* rung; pin the
+        # ladder there (the persistent tier is covered in test_pool.py)
+        # and re-arm the one-shot fallback warning for each test
+        was_enabled = engine_pool.pool_enabled()
+        engine_pool.configure(persistent=False)
+        sweep_mod._reset_pool_fallback_warning()
+        yield
+        engine_pool.configure(persistent=was_enabled)
+        sweep_mod._reset_pool_fallback_warning()
 
     def test_fallback_records_health_event(
         self, rc_two_port_system, monkeypatch
@@ -240,3 +283,30 @@ class TestPoolFallbackObservability:
         with pytest.warns(repro.errors.NumericalWarning):
             engine.sweep(rc_two_port_system, s)
         assert len(monitor.by_category("engine.sweep")) == 1
+
+    def test_fallback_warning_is_one_shot_per_process(
+        self, rc_two_port_system, monkeypatch
+    ):
+        """Sweep-heavy sessions see the NumericalWarning once; every
+        later fallback is still visible as an ``engine.sweep`` event."""
+        import concurrent.futures as futures
+        import warnings as warnings_mod
+
+        from repro.robustness import HealthMonitor
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor", _ExplodingPool)
+        monitor = HealthMonitor()
+        sigma = 1j * np.logspace(7, 10, 40)
+        with pytest.warns(repro.errors.NumericalWarning, match="pool"):
+            parallel_ac_kernel(
+                rc_two_port_system, sigma,
+                workers=2, min_points_per_worker=4, monitor=monitor,
+            )
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")  # any warning would raise
+            out = parallel_ac_kernel(
+                rc_two_port_system, sigma,
+                workers=2, min_points_per_worker=4, monitor=monitor,
+            )
+        assert np.allclose(out, ac_kernel(rc_two_port_system, sigma))
+        assert len(monitor.by_category("engine.sweep")) == 2

@@ -1,0 +1,254 @@
+"""Cross-request micro-batching (:mod:`repro.service.batching`).
+
+The unit tests drive a :class:`SweepBatcher` against a recording fake
+evaluator; the integration tests prove the serving contract end to
+end: N concurrent sweep requests sharing one compiled model produce
+**one** engine evaluation (batch occupancy > 1 in ``stats``) whose
+per-request slices are identical to the serial reference.
+
+No pytest-asyncio in the toolchain: each test drives its scenario with
+``asyncio.run`` from synchronous test functions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service import MacromodelService, ServiceConfig, SweepBatcher
+from repro.simulation.results import FrequencyResponse
+
+NETLIST = """* two-port RC ladder
+R1 1 2 1.0
+C1 2 0 1e-9
+R2 2 3 2.0
+C2 3 0 2e-9
+.port P1 1 0
+.port P2 3 0
+"""
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Recorder:
+    """Fake compiled evaluation: records each merged grid it sees."""
+
+    def __init__(self, fail_with: Exception | None = None):
+        self.calls: list[np.ndarray] = []
+        self.fail_with = fail_with
+
+    async def __call__(self, model, s):
+        self.calls.append(np.asarray(s))
+        if self.fail_with is not None:
+            raise self.fail_with
+        s = np.asarray(s, dtype=complex)
+        return FrequencyResponse(
+            s=s,
+            z=(2.0 * s).reshape(-1, 1, 1),
+            port_names=["P1"],
+            label="fake",
+        )
+
+
+def grid(lo: float, n: int) -> np.ndarray:
+    return 1j * np.linspace(lo, lo + n - 1, n)
+
+
+class TestSweepBatcherUnit:
+    def test_concurrent_submits_merge_into_one_eval(self):
+        evaluate = Recorder()
+        batcher = SweepBatcher(evaluate, window_ms=50.0, max_size=8)
+
+        async def scenario():
+            return await asyncio.gather(*(
+                batcher.submit("model-a", None, grid(10.0 * k, 3))
+                for k in range(4)
+            ))
+
+        responses = run(scenario())
+        assert len(evaluate.calls) == 1
+        assert evaluate.calls[0].size == 12
+        for k, response in enumerate(responses):
+            expected = grid(10.0 * k, 3).astype(complex)
+            assert np.array_equal(response.s, expected)
+            assert np.array_equal(
+                response.z, (2.0 * expected).reshape(-1, 1, 1)
+            )
+        state = batcher.describe()
+        assert state["batches"] == 1
+        assert state["batched_requests"] == 4
+        assert state["occupancy"] == {"4": 1}
+        assert state["pending_requests"] == 0
+
+    def test_distinct_models_do_not_share_batches(self):
+        evaluate = Recorder()
+        batcher = SweepBatcher(evaluate, window_ms=50.0, max_size=8)
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.submit("model-a", None, grid(0.0, 2)),
+                batcher.submit("model-b", None, grid(100.0, 2)),
+            )
+
+        run(scenario())
+        assert len(evaluate.calls) == 2
+        assert batcher.describe()["occupancy"] == {"1": 2}
+
+    def test_full_batch_flushes_early(self):
+        evaluate = Recorder()
+        # a window far longer than the test: only the size cap flushes
+        batcher = SweepBatcher(evaluate, window_ms=10_000.0, max_size=2)
+
+        async def scenario():
+            responses = await asyncio.gather(*(
+                batcher.submit("model-a", None, grid(10.0 * k, 2))
+                for k in range(4)
+            ))
+            await batcher.drain()
+            return responses
+
+        responses = run(scenario())
+        assert len(responses) == 4
+        assert len(evaluate.calls) == 2
+        assert all(call.size == 4 for call in evaluate.calls)
+        assert batcher.describe()["occupancy"] == {"2": 2}
+
+    def test_window_zero_disables_batching(self):
+        evaluate = Recorder()
+        batcher = SweepBatcher(evaluate, window_ms=0.0, max_size=8)
+        assert not batcher.enabled
+
+        async def scenario():
+            return await asyncio.gather(*(
+                batcher.submit("model-a", None, grid(10.0 * k, 2))
+                for k in range(3)
+            ))
+
+        run(scenario())
+        assert len(evaluate.calls) == 3
+        assert batcher.describe()["batches"] == 0
+
+    def test_max_size_one_disables_batching(self):
+        batcher = SweepBatcher(Recorder(), window_ms=5.0, max_size=1)
+        assert not batcher.enabled
+
+    def test_eval_failure_reaches_every_rider(self):
+        evaluate = Recorder(fail_with=ValueError("broadcast exploded"))
+        batcher = SweepBatcher(evaluate, window_ms=20.0, max_size=8)
+
+        async def scenario():
+            return await asyncio.gather(
+                *(
+                    batcher.submit("model-a", None, grid(10.0 * k, 2))
+                    for k in range(3)
+                ),
+                return_exceptions=True,
+            )
+
+        outcomes = run(scenario())
+        assert len(evaluate.calls) == 1  # one shared attempt
+        assert all(isinstance(out, ValueError) for out in outcomes)
+
+
+class TestServiceBatching:
+    """Satellite contract: N concurrent requests -> one evaluation."""
+
+    N = 5
+
+    def sweep_request(self, request_id: str, k: int) -> dict:
+        # distinct bands (same model) so single-flight cannot dedup
+        return {
+            "id": request_id,
+            "op": "sweep",
+            "params": {
+                "netlist": NETLIST,
+                "order": 3,
+                "band": [1e6 * (1 + k), 1e9],
+                "points": 16,
+                "return_values": True,
+            },
+        }
+
+    def test_one_batched_eval_identical_to_serial_reference(self):
+        serial = MacromodelService(ServiceConfig(batch_window_ms=0.0))
+        batched = MacromodelService(ServiceConfig(
+            batch_window_ms=50.0,
+            batch_max_size=8,
+            max_concurrency=8,
+        ))
+
+        async def scenario():
+            # serial reference: batching off, one request at a time
+            reference = []
+            for k in range(self.N):
+                response = await serial.handle(
+                    self.sweep_request(f"ref-{k}", k)
+                )
+                assert response["ok"], response
+                reference.append(response)
+
+            # warm the model so the concurrent burst all takes the
+            # compiled tier, then measure the sweep count of the burst
+            warm = await batched.handle(self.sweep_request("warm", 0))
+            assert warm["ok"], warm
+            sweeps_before = batched.engine.stats_.sweeps
+            burst = await asyncio.gather(*(
+                batched.handle(self.sweep_request(f"bat-{k}", k))
+                for k in range(self.N)
+            ))
+            await batched.drain()
+            return reference, burst, sweeps_before
+
+        reference, burst, sweeps_before = run(scenario())
+        assert all(response["ok"] for response in burst)
+
+        # one shared engine evaluation served the whole burst
+        assert batched.engine.stats_.sweeps == sweeps_before + 1
+        stats = batched.stats()["service"]["batching"]
+        occupancy = max(int(k) for k in stats["occupancy"])
+        assert occupancy == self.N  # > 1: the batch really merged
+        assert stats["batched_requests"] >= self.N
+        assert stats["queue_delay_ms"]["count"] >= self.N
+
+        # per-request slices identical to the serial reference
+        for ref, bat in zip(reference, burst):
+            assert bat["result"]["z_real"] == ref["result"]["z_real"]
+            assert bat["result"]["z_imag"] == ref["result"]["z_imag"]
+            assert bat["result"]["points"] == ref["result"]["points"]
+
+    def test_batching_disabled_still_serves(self):
+        svc = MacromodelService(ServiceConfig(batch_window_ms=0.0))
+
+        async def scenario():
+            return await asyncio.gather(*(
+                svc.handle(self.sweep_request(f"r{k}", k))
+                for k in range(3)
+            ))
+
+        responses = run(scenario())
+        assert all(response["ok"] for response in responses)
+        stats = svc.stats()["service"]["batching"]
+        assert stats["enabled"] is False
+        assert stats["batches"] == 0
+
+    def test_observability_surfaces(self):
+        svc = MacromodelService(ServiceConfig(
+            batch_window_ms=10.0, batch_max_size=4
+        ))
+
+        async def scenario():
+            response = await svc.handle(self.sweep_request("solo", 0))
+            assert response["ok"], response
+            return svc.stats(), svc.healthz()
+
+        stats, healthz = run(scenario())
+        batching = stats["service"]["batching"]
+        assert batching["enabled"] is True
+        assert batching["window_ms"] == pytest.approx(10.0)
+        assert batching["max_size"] == 4
+        assert "batching_pending" in healthz
+        assert healthz["batching_pending"] == 0
